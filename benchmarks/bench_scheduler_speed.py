@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the scheduler itself (proper timing runs).
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+scheduling single representative loops, complementing the one-shot
+corpus benchmarks: use them to track scheduler performance regressions.
+"""
+
+import pytest
+
+from repro.core import modulo_schedule
+from repro.frontend import compile_loop
+from repro.ir import build_ddg
+from repro.machine import cydra5
+from repro.workloads.livermore import kernel7_state
+from repro.workloads.generator import LoopGenerator
+
+MACHINE = cydra5()
+
+
+@pytest.fixture(scope="module")
+def medium_loop():
+    loop = compile_loop(kernel7_state())
+    return loop, build_ddg(loop, MACHINE)
+
+
+@pytest.fixture(scope="module")
+def large_loop():
+    program = None
+    generator = LoopGenerator(13)
+    # Draw until a genuinely large loop appears (deterministic).
+    for index in range(200):
+        candidate = generator.generate(f"big{index}", "both")
+        compiled = compile_loop(candidate)
+        if program is None or len(compiled.real_ops) > len(program[0].real_ops):
+            program = (compiled, candidate)
+        if len(program[0].real_ops) >= 80:
+            break
+    loop = program[0]
+    return loop, build_ddg(loop, MACHINE)
+
+
+def test_schedule_medium_loop(benchmark, medium_loop):
+    loop, ddg = medium_loop
+    result = benchmark(lambda: modulo_schedule(loop, MACHINE, ddg=ddg))
+    assert result.success
+
+
+def test_schedule_large_loop(benchmark, large_loop):
+    loop, ddg = large_loop
+    result = benchmark(lambda: modulo_schedule(loop, MACHINE, ddg=ddg))
+    assert result.success
+
+
+def test_schedule_cydrome_medium(benchmark, medium_loop):
+    loop, ddg = medium_loop
+    result = benchmark(lambda: modulo_schedule(loop, MACHINE, algorithm="cydrome", ddg=ddg))
+    assert result.success

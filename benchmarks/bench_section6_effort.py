@@ -1,0 +1,41 @@
+"""§6: scheduler effort — backtracking volume and time breakdown.
+
+Paper reference (1,525 loops): 889 loops needed no backtracking; the
+other 636 placed 23,603 operations in 306,860 central-loop iterations,
+invoking step 3 157,694 times (ejecting 282,130 operations); step 6
+(restart at a larger II) fired only 139 times.  Cydrome's scheduler
+backtracked 3.7x as much and took 6.5x longer.  Reproduce: most loops
+schedule without backtracking, ejections concentrate in a minority of
+loops, restarts are rare, and the Cydrome baseline ejects several times
+more than the slack scheduler.
+"""
+
+from repro.experiments import run_corpus, section6_effort
+
+from _shared import corpus, corpus_size, machine, measured, publish
+
+
+def test_section6_effort(benchmark):
+    metrics = benchmark.pedantic(
+        lambda: run_corpus(corpus(), machine(), algorithm="slack"),
+        rounds=1,
+        iterations=1,
+    )
+    cydrome = measured("cydrome")
+
+    slack_ejections = sum(m.ejections for m in metrics)
+    cydrome_ejections = sum(m.ejections for m in cydrome)
+    factor = cydrome_ejections / max(1, slack_ejections)
+    text = (
+        section6_effort(metrics)
+        + f"\n\nCydrome baseline ejections: {cydrome_ejections} "
+        + f"({factor:.1f}x the slack scheduler's {slack_ejections})"
+        + f"\n(corpus size {corpus_size()})"
+    )
+    publish("section6_effort", text)
+
+    no_backtracking = sum(1 for m in metrics if not m.backtracked)
+    restarts = sum(m.attempts - 1 for m in metrics)
+    assert no_backtracking >= len(metrics) * 0.30  # paper: 58%
+    assert restarts <= len(metrics) * 0.10  # paper: 139/1525 = 9%
+    assert cydrome_ejections >= slack_ejections  # paper: 3.7x

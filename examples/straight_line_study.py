@@ -1,0 +1,55 @@
+"""Straight-line scheduling study: the paper's §8 'future experimentation'.
+
+Schedules a corpus of basic blocks three ways — classic critical-path
+list scheduling, Goodman/Hsu-style IPS, and the bidirectional slack
+framework in acyclic mode — and reports makespan and peak register
+pressure per scheduler, plus a per-block view of where slack's
+lifetime sensitivity pays off.
+
+Run:  python examples/straight_line_study.py [n_blocks]
+"""
+
+import sys
+
+from repro.core.acyclic import acyclic_ddg, schedule_ips, schedule_list, schedule_slack
+from repro.frontend import compile_loop
+from repro.machine import cydra5
+from repro.workloads import LoopGenerator, named_kernels
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    machine = cydra5()
+    generator = LoopGenerator(2024)
+    programs = [generator.generate(f"block{i}", "neither") for i in range(count)]
+    programs += named_kernels()[:6]
+
+    header = (
+        f"{'block':<14} {'ops':>4} | {'list len/prs':>12} | "
+        f"{'ips len/prs':>12} | {'slack len/prs':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    totals = {"list": [0, 0], "ips": [0, 0], "slack": [0, 0]}
+    for program in programs:
+        loop = compile_loop(program)
+        ddg = acyclic_ddg(loop, machine)
+        base = schedule_list(loop, machine, ddg)
+        ips = schedule_ips(loop, machine, ddg, pressure_limit=max(2, base.pressure - 2))
+        slack = schedule_slack(loop, machine, ddg)
+        for name, result in (("list", base), ("ips", ips), ("slack", slack)):
+            totals[name][0] += result.length
+            totals[name][1] += result.pressure
+        print(
+            f"{program.name:<14} {len(loop.real_ops):>4} | "
+            f"{base.length:>6}/{base.pressure:<5} | "
+            f"{ips.length:>6}/{ips.pressure:<5} | "
+            f"{slack.length:>6}/{slack.pressure:<6}"
+        )
+    print("-" * len(header))
+    for name, (length, pressure) in totals.items():
+        print(f"{name:>6}: total makespan {length}, total peak pressure {pressure}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Lifetime-Sensitive Modulo Scheduling (Huff, PLDI 1993) — reproduction.
+
+Top-level convenience exports cover the common path:
+
+    >>> from repro import DoLoop, Assign, ArrayRef, compile_loop, cydra5, modulo_schedule
+    >>> program = DoLoop("saxpy", body=[Assign(ArrayRef("y"),
+    ...     ArrayRef("x") * 2.0 + ArrayRef("y"))], arrays={"x": 32, "y": 32})
+    >>> result = modulo_schedule(compile_loop(program), cydra5())
+    >>> result.optimal
+    True
+"""
+
+from repro.core import (
+    SchedulerOptions,
+    Schedule,
+    ScheduleResult,
+    modulo_schedule,
+    validate_schedule,
+)
+from repro.frontend import (
+    ArrayRef,
+    Assign,
+    Compare,
+    Const,
+    DoLoop,
+    Gather,
+    If,
+    Index,
+    Scalar,
+    Scatter,
+    Unary,
+    compile_loop,
+)
+from repro.machine import Machine, cydra5
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SchedulerOptions",
+    "Schedule",
+    "ScheduleResult",
+    "modulo_schedule",
+    "validate_schedule",
+    "ArrayRef",
+    "Assign",
+    "Compare",
+    "Const",
+    "DoLoop",
+    "Gather",
+    "If",
+    "Index",
+    "Scalar",
+    "Scatter",
+    "Unary",
+    "compile_loop",
+    "Machine",
+    "cydra5",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""The MinDist relation (paper §4.1).
+
+``MinDist(x, y)`` is the minimum number of cycles (possibly negative) by
+which x must precede y in any feasible schedule at a given II, or "no
+constraint" if the dependence graph has no path from x to y.  It is the
+all-pairs *longest* path under arc costs ``latency - omega * II``;
+because ``II >= RecMII`` every dependence cycle has non-positive cost,
+so the closure is well defined.
+
+Computed with a vectorized Floyd–Warshall over a numpy int64 matrix
+("no path" is a large negative sentinel).  Recomputed for each attempted
+II, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ir.ddg import DDG
+
+#: Sentinel for "no path".  Far below any reachable cost, but safe to
+#: add to itself inside int64.
+NO_PATH = -(2**40)
+
+#: Threshold below which a closure entry is treated as "no path".
+_NO_PATH_CUTOFF = -(2**39)
+
+
+class MinDist:
+    """All-pairs minimum-distance matrix for one (DDG, II) pair."""
+
+    def __init__(self, ddg: DDG, ii: int):
+        if ii < 1:
+            raise ValueError(f"II must be positive, got {ii}")
+        self.ddg = ddg
+        self.ii = ii
+        self.n = ddg.n
+        self.matrix, self.feasible = _closure(ddg, ii)
+
+    def dist(self, src: int, dst: int) -> Optional[int]:
+        """MinDist(src, dst) in cycles, or None if unconstrained."""
+        entry = int(self.matrix[src, dst])
+        if entry < _NO_PATH_CUTOFF:
+            return None
+        return entry
+
+    def has_path(self, src: int, dst: int) -> bool:
+        return int(self.matrix[src, dst]) >= _NO_PATH_CUTOFF
+
+    def __repr__(self) -> str:
+        return f"MinDist(n={self.n}, ii={self.ii}, feasible={self.feasible})"
+
+
+def _closure(ddg: DDG, ii: int) -> "tuple[np.ndarray, bool]":
+    n = ddg.n
+    dist = np.full((n, n), NO_PATH, dtype=np.int64)
+    for arc in ddg.arcs:
+        cost = arc.latency - arc.omega * ii
+        if cost > dist[arc.src, arc.dst]:
+            dist[arc.src, arc.dst] = cost
+    for k in range(n):
+        via = dist[:, k : k + 1] + dist[k : k + 1, :]
+        np.maximum(dist, via, out=dist)
+    diagonal = np.diagonal(dist)
+    feasible = bool(np.all((diagonal <= 0) | (diagonal < _NO_PATH_CUTOFF)))
+    # The paper sets MinDist(x, x) = 0 for every operation.
+    np.fill_diagonal(dist, 0)
+    return dist, feasible
+
+
+def is_feasible_ii(ddg: DDG, ii: int) -> bool:
+    """True if no dependence circuit has positive cost at this II.
+
+    This is the Lawler-style feasibility predicate underlying RecMII:
+    the smallest feasible II over this predicate *is* RecMII.
+    """
+    _, feasible = _closure(ddg, ii)
+    return feasible

@@ -1,0 +1,57 @@
+"""Resource-constrained lower bound on II (paper §3.1).
+
+If one iteration needs N busy-cycles of a resource of which the machine
+supplies R instances, then ``II >= ceil(N / R)``; ResMII is the maximum
+such ratio over all resources.  Non-pipelined units (the divider)
+contribute their full latency per operation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.ir.loop import LoopBody
+from repro.machine.machine import Machine
+
+
+def unit_requirements(loop: LoopBody, machine: Machine) -> Dict[int, int]:
+    """Busy cycles required per iteration, keyed by unit-class index."""
+    needs: Dict[int, int] = {}
+    for op in loop.ops:
+        class_index = machine.unit_class_index(op.opcode)
+        if class_index is None:
+            continue
+        needs[class_index] = needs.get(class_index, 0) + machine.busy_cycles(op)
+    return needs
+
+
+def resmii(loop: LoopBody, machine: Machine) -> int:
+    """The resource-constrained minimum initiation interval (>= 1)."""
+    bound = 1
+    for class_index, busy in unit_requirements(loop, machine).items():
+        count = machine.unit_classes[class_index].count
+        bound = max(bound, math.ceil(busy / count))
+    return bound
+
+
+def critical_unit_instances(
+    loop: LoopBody,
+    machine: Machine,
+    binding: Dict[int, Tuple[int, int]],
+    ii: int,
+    threshold: float = 0.90,
+) -> "set[Tuple[int, int]]":
+    """Unit instances that one iteration keeps busy >= threshold * II.
+
+    The paper marks an operation *critical* if it uses a critical
+    resource; critical resources are recomputed just before each
+    attempted II (§4.3).
+    """
+    usage: Dict[Tuple[int, int], int] = {}
+    for op in loop.ops:
+        unit = binding.get(op.oid)
+        if unit is None:
+            continue
+        usage[unit] = usage.get(unit, 0) + machine.busy_cycles(op)
+    return {unit for unit, busy in usage.items() if busy >= threshold * ii}

@@ -1,0 +1,156 @@
+"""Command-line interface: pipeline a loop-language file end to end.
+
+    python -m repro path/to/loop.txt
+    python -m repro loop.txt --algorithm cydrome --emit --simulate
+    python -m repro --demo            # runs the paper's Figure 1 sample
+
+Prints lower bounds, the found schedule, register pressure against the
+MinAvg bound, optionally the generated kernel-only VLIW code, and
+optionally executes the pipeline to verify it against sequential
+semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bounds import MinDist, min_avg, rr_max_live
+from repro.codegen import emit_kernel, generate_kernel
+from repro.core import ALGORITHMS, modulo_schedule, validate_schedule
+from repro.frontend import compile_loop
+from repro.frontend.parser import ParseError, parse_loop
+from repro.ir import build_ddg
+from repro.machine import cydra5
+from repro.regalloc import allocate_registers
+from repro.simulator import initial_state, run_pipelined, run_sequential
+
+_DEMO = """\
+loop figure1
+array x 60
+array y 60
+do i = 2, 41
+    x(i) = x(i-1) + y(i-2)
+    y(i) = y(i-1) + x(i-2)
+end do
+"""
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lifetime-sensitive modulo scheduling (Huff, PLDI 1993)",
+    )
+    parser.add_argument("source", nargs="?", help="loop-language file ('-' for stdin)")
+    parser.add_argument("--demo", action="store_true", help="schedule the paper's Figure 1")
+    parser.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="slack",
+        help="scheduler to use (default: slack)",
+    )
+    parser.add_argument(
+        "--load-latency", type=int, default=13, help="memory latency register (default 13)"
+    )
+    parser.add_argument("--emit", action="store_true", help="print kernel-only VLIW code")
+    parser.add_argument(
+        "--simulate", action="store_true", help="execute and verify against sequential"
+    )
+    parser.add_argument("--dump-ir", action="store_true", help="print the compiled loop body")
+    parser.add_argument(
+        "--paper-report",
+        type=int,
+        metavar="N",
+        help="regenerate the paper's tables and figures over an N-loop corpus",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_argument_parser().parse_args(argv)
+    if args.paper_report:
+        from repro.experiments import full_report
+
+        print(full_report(args.paper_report))
+        return 0
+    if args.demo:
+        source = _DEMO
+    elif args.source == "-":
+        source = sys.stdin.read()
+    elif args.source:
+        try:
+            with open(args.source) as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        print("error: provide a source file or --demo", file=sys.stderr)
+        return 2
+
+    try:
+        program = parse_loop(source)
+        loop = compile_loop(program)
+    except (ParseError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    machine = cydra5(load_latency=args.load_latency)
+    ddg = build_ddg(loop, machine)
+    if args.dump_ir:
+        print(loop.dump())
+        print()
+
+    result = modulo_schedule(loop, machine, algorithm=args.algorithm, ddg=ddg)
+    print(
+        f"{loop.name}: ResMII={result.res_mii} RecMII={result.rec_mii} "
+        f"MII={result.mii}"
+    )
+    if not result.success:
+        print(f"FAILED to pipeline (last attempted II={result.last_attempted_ii})")
+        return 1
+    schedule = result.schedule
+    print(
+        f"scheduled at II={schedule.ii} "
+        f"({'optimal' if result.optimal else 'suboptimal'}), "
+        f"span={schedule.span}, stages={schedule.stages}"
+    )
+    violations = validate_schedule(schedule, ddg)
+    if violations:
+        print("INVALID SCHEDULE:")
+        for violation in violations[:10]:
+            print(f"  {violation}")
+        return 1
+
+    pressure = rr_max_live(loop, ddg, schedule.times, schedule.ii)
+    bound = min_avg(loop, ddg, MinDist(ddg, schedule.ii), schedule.ii)
+    print(f"register pressure: MaxLive={pressure} (MinAvg bound {bound})")
+    print(schedule.render())
+
+    if args.emit:
+        assignment = allocate_registers(schedule, ddg)
+        print()
+        print(emit_kernel(generate_kernel(schedule, assignment)))
+
+    if args.simulate:
+        sequential = run_sequential(program, initial_state(program))
+        pipelined = run_pipelined(schedule, initial_state(program))
+        mismatches = 0
+        for name in program.arrays:
+            for a, b in zip(sequential.arrays[name], pipelined.arrays[name]):
+                if not (a == b or abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))):
+                    mismatches += 1
+        for name in program.live_out:
+            if abs(sequential.scalars[name] - pipelined.scalars[name]) > 1e-9:
+                mismatches += 1
+        if mismatches:
+            print(f"SIMULATION MISMATCH: {mismatches} locations differ")
+            return 1
+        print(f"simulation: pipelined execution matches sequential over "
+              f"{program.trip} iterations")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

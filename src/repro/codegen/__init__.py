@@ -1,0 +1,19 @@
+"""Kernel-only code generation and textual emission."""
+
+from repro.codegen.emit import emit_kernel
+from repro.codegen.kernel import (
+    CodegenError,
+    KernelCode,
+    KernelOp,
+    KernelOperand,
+    generate_kernel,
+)
+
+__all__ = [
+    "emit_kernel",
+    "CodegenError",
+    "KernelCode",
+    "KernelOp",
+    "KernelOperand",
+    "generate_kernel",
+]

@@ -1,0 +1,44 @@
+"""Textual VLIW assembly emission for kernel-only code."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.kernel import KernelCode, KernelOp
+
+
+def _render_op(kop: KernelOp) -> str:
+    op = kop.op
+    dest = f"{kop.dest.render()} = " if kop.dest is not None else ""
+    args = ", ".join(o.render() for o in kop.operands)
+    guard = f" if {kop.predicate.render()}" if kop.predicate is not None else ""
+    memory = ""
+    if op.is_memory and "array" in op.attrs:
+        if op.attrs.get("gather"):
+            memory = f"  ; {op.attrs['array']}[indirect]"
+        else:
+            memory = f"  ; {op.attrs['array']}[i{op.attrs['disp']:+d}]"
+    return (
+        f"[{kop.unit:<12}] {dest}{op.opcode.value}({args}){guard}"
+        f"  ; stage {kop.stage}{memory}"
+    )
+
+
+def emit_kernel(kernel: KernelCode) -> str:
+    """Readable kernel listing: one block per row, one line per op."""
+    schedule = kernel.schedule
+    lines: List[str] = [
+        f"; kernel-only code for loop '{kernel.loop.name}'",
+        f"; II = {kernel.ii} cycles, {kernel.stages} stage(s), span {schedule.span}",
+        f"; RR file: {kernel.assignment.rr_registers} rotating registers "
+        f"(MaxLive {kernel.assignment.rr.max_live})",
+        f"; ICR file: {kernel.assignment.icr_registers} rotating predicates",
+        f"; GPR file: {kernel.assignment.gpr_registers} loop invariants",
+    ]
+    for row_index, row in enumerate(kernel.rows):
+        lines.append(f"row {row_index}:")
+        if not row:
+            lines.append("    nop")
+        for kop in row:
+            lines.append(f"    {_render_op(kop)}")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Top-level scheduling driver: the escalating-II loop (§4.2 step 6).
+
+``modulo_schedule(loop, machine)`` computes MII = max(ResMII, RecMII),
+attempts the chosen scheduler at MII, and on failure increments II by
+``max(floor(0.04 * II), 1)`` — the paper's compromise that trades a
+little II for far less compile time on large complex loops (footnote 6;
+the +1 policy is available for the ablation bench).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Optional, Type
+
+from repro.bounds.recmii import recmii
+from repro.bounds.resmii import resmii
+from repro.ir.ddg import DDG, build_ddg
+from repro.ir.loop import LoopBody
+from repro.machine.machine import Machine
+from repro.core.baseline import CydromeAttempt, HeightAttempt, UnidirectionalAttempt
+from repro.core.framework import SchedulingAttempt, run_attempt
+from repro.core.schedule import ScheduleResult, SchedulerStats
+from repro.core.slack import SlackAttempt
+from repro.core.warp import run_warp_attempt
+
+#: Registry of scheduler algorithms selectable by name.  "warp" is the
+#: §8 hierarchical list scheduler, which does not use the
+#: operation-driven backtracking framework.
+ALGORITHMS = {
+    "slack": SlackAttempt,
+    "cydrome": CydromeAttempt,
+    "unidirectional": UnidirectionalAttempt,
+    "height": HeightAttempt,
+    "warp": None,
+}
+
+
+@dataclasses.dataclass
+class SchedulerOptions:
+    """Tunable knobs of the scheduling driver.
+
+    Attributes:
+        budget_ratio: Placement budget per attempt, as a multiple of the
+            loop's operation count (step 6's "ejected too many times").
+        max_attempts: How many IIs to try before declaring failure (the
+            paper's Cydrome runs failed to pipeline 14 loops).
+        ii_step_percent: II escalation rate; 0.04 is the paper's choice,
+            0.0 degenerates to the +1 policy of footnote 6.
+        bidirectional: Disable for the §7 ablation (slack algorithm only).
+        dynamic_priority: Disable to freeze each operation's *initial*
+            slack as its priority (the Cydrome-style static scheme the
+            §8 discussion contrasts with; slack algorithm only).
+        critical_threshold: Fraction of II at which a resource counts as
+            critical (0.90 in §4.3).
+        max_rr_pressure: Optional rotating-register budget.  The paper
+            assumes infinite registers (footnote 1: "no one as yet has a
+            good strategy for spilling registers in a software
+            pipeline"); this extension instead *slows the pipeline down*
+            — a schedule whose MaxLive exceeds the budget is rejected
+            and II escalates, trading throughput for registers without
+            spill code.
+    """
+
+    budget_ratio: float = 16.0
+    max_attempts: int = 15
+    ii_step_percent: float = 0.04
+    bidirectional: bool = True
+    dynamic_priority: bool = True
+    critical_threshold: float = 0.90
+    max_rr_pressure: Optional[int] = None
+
+    def next_ii(self, ii: int) -> int:
+        return ii + max(int(self.ii_step_percent * ii), 1)
+
+
+def modulo_schedule(
+    loop: LoopBody,
+    machine: Machine,
+    algorithm: str = "slack",
+    options: Optional[SchedulerOptions] = None,
+    ddg: Optional[DDG] = None,
+) -> ScheduleResult:
+    """Modulo schedule ``loop`` for ``machine``.
+
+    Args:
+        loop: A finalized loop body.
+        machine: Target machine description.
+        algorithm: "slack" (the paper), "cydrome" (the Table 4
+            baseline), or "unidirectional" (the §7 ablation).
+        options: Driver knobs; defaults reproduce the paper's settings.
+        ddg: Pre-built dependence graph (rebuilt when omitted).
+
+    Returns:
+        A :class:`ScheduleResult`; ``result.success`` is False when every
+        attempted II exhausted its budget.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; pick from {sorted(ALGORITHMS)}")
+    attempt_cls: Type[SchedulingAttempt] = ALGORITHMS[algorithm]
+    options = options or SchedulerOptions()
+    if ddg is None:
+        ddg = build_ddg(loop, machine)
+
+    res_mii = resmii(loop, machine)
+    rec_mii = recmii(ddg)
+    mii = max(res_mii, rec_mii)
+    binding = machine.bind_units(loop)
+
+    stats = SchedulerStats()
+    ii = mii
+    last_ii = mii
+    schedule = None
+    for _ in range(options.max_attempts):
+        if algorithm == "warp":
+            started = time.perf_counter()
+            schedule, attempt_stats = run_warp_attempt(loop, machine, ddg, ii, binding)
+            stats.scheduling_seconds += time.perf_counter() - started
+            stats.attempts += 1
+            stats.placements += attempt_stats.placements
+            stats.forced += attempt_stats.forced
+        else:
+            kwargs = {"budget_ratio": options.budget_ratio}
+            if attempt_cls is SlackAttempt:
+                kwargs["bidirectional"] = options.bidirectional
+                kwargs["dynamic_priority"] = options.dynamic_priority
+                kwargs["critical_threshold"] = options.critical_threshold
+            started = time.perf_counter()
+            attempt = attempt_cls(loop, machine, ddg, ii, binding, **kwargs)
+            stats.mindist_seconds += time.perf_counter() - started
+
+            started = time.perf_counter()
+            schedule = run_attempt(attempt)
+            stats.scheduling_seconds += time.perf_counter() - started
+            stats.attempts += 1
+            stats.placements += attempt.stats.placements
+            stats.forced += attempt.stats.forced
+            stats.ejections += attempt.stats.ejections
+        last_ii = ii
+        if schedule is not None and options.max_rr_pressure is not None:
+            from repro.bounds.lifetimes import rr_max_live
+
+            if rr_max_live(loop, ddg, schedule.times, ii) > options.max_rr_pressure:
+                schedule = None  # over budget: slow the pipeline down
+        if schedule is not None:
+            break
+        ii = options.next_ii(ii)
+
+    return ScheduleResult(
+        loop=loop,
+        machine=machine,
+        schedule=schedule,
+        mii=mii,
+        res_mii=res_mii,
+        rec_mii=rec_mii,
+        stats=stats,
+        last_attempted_ii=last_ii,
+    )

@@ -1,0 +1,274 @@
+"""The operation-driven slack-scheduling framework (paper §4).
+
+One :class:`SchedulingAttempt` tries to place every operation at a fixed
+II.  The central loop (§4.2) repeatedly:
+
+1. chooses an operation (subclass hook — dynamic slack priority for the
+   paper's scheduler, static priority for the Cydrome baseline);
+2. searches for a conflict-free issue cycle inside the operation's
+   [Estart, Lstart] window (subclass hook — bidirectional for the
+   paper's scheduler, always-earliest for the baselines);
+3. failing that, *forces* the operation into
+   ``max(Estart(x), 1 + last placement of x)`` and ejects every placed
+   operation that conflicts with it in resources or (transitively, via
+   MinDist) dependences — except the loop-closing ``brtop`` (§4.4);
+4. places the operation, updates the modulo resource table, and updates
+   the Estart/Lstart bounds of all unplaced operations (§4.1);
+5. gives up once the placement budget is exhausted, at which point the
+   driver increments II and starts over (§4.2 step 6).
+
+Bounds bookkeeping is vectorized with numpy: incremental updates after a
+plain placement, full recomputation (O(p*n)) after ejections — the same
+asymptotics the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.bounds.mindist import MinDist, _NO_PATH_CUTOFF
+from repro.bounds.resmii import resmii
+from repro.ir.ddg import DDG
+from repro.ir.loop import LoopBody
+from repro.ir.operations import Operation
+from repro.machine.machine import Machine, UnitInstance
+from repro.machine.mrt import ModuloResourceTable
+from repro.core.schedule import Schedule, SchedulerStats
+
+#: Bound value meaning "unconstrained" in intermediate numpy math.
+_HUGE = 2**40
+
+
+class AttemptFailed(Exception):
+    """The placement budget was exhausted at this II."""
+
+
+class SchedulingAttempt:
+    """Scheduling state for one (loop, machine, II) attempt.
+
+    Subclasses implement the two heuristic hooks:
+
+    * :meth:`choose_operation` — pick the next unplaced op (step 1);
+    * :meth:`choose_issue_cycle` — pick a conflict-free cycle inside the
+      op's window, or None (step 2).
+    """
+
+    def __init__(
+        self,
+        loop: LoopBody,
+        machine: Machine,
+        ddg: DDG,
+        ii: int,
+        binding: Dict[int, UnitInstance],
+        budget_ratio: float = 16.0,
+        tight_cap: bool = False,
+    ):
+        self.loop = loop
+        self.machine = machine
+        self.ddg = ddg
+        self.ii = ii
+        self.binding = binding
+        #: Straight-line mode: keep Lstart(Stop) at the critical path
+        #: instead of rounding up to a multiple of II (§4.2's extra
+        #: slack only makes sense when II bounds the schedule's period).
+        self.tight_cap = tight_cap
+        self.mindist = MinDist(ddg, ii)
+        if not self.mindist.feasible:
+            raise ValueError(f"II={ii} is below RecMII for {loop.name}")
+        self.matrix = self.mindist.matrix
+        self.n = loop.n_ops
+        self.start_oid = loop.start.oid
+        self.stop_oid = loop.stop.oid
+        brtop = loop.brtop()
+        self.brtop_oid = brtop.oid if brtop is not None else None
+        self.contention = resmii(loop, machine) > 1
+
+        self.mrt = ModuloResourceTable(machine, ii, binding)
+        self.times: Dict[int, int] = {self.start_oid: 0}
+        self.last_place: Dict[int, int] = {}
+        self.unplaced: Set[int] = {op.oid for op in loop.ops} - {self.start_oid}
+        self.budget = max(100, int(budget_ratio * max(1, len(loop.real_ops))))
+        self.stats = SchedulerStats()
+
+        self.estart = np.zeros(self.n, dtype=np.int64)
+        self.lstart = np.zeros(self.n, dtype=np.int64)
+        self.lstart_cap = 0
+        self._bounds_dirty = True
+        self._init_cap()
+        self._refresh_bounds()
+
+    # ------------------------------------------------------------------
+    # Estart / Lstart bookkeeping (§4.1)
+    # ------------------------------------------------------------------
+    def _quantize_cap(self, estart_stop: int) -> int:
+        """Lstart(Stop) policy: the critical path if there is no resource
+        contention, else the critical path rounded up to a multiple of II
+        (the extra slack lessens backtracking, §4.2)."""
+        if self.tight_cap or not self.contention or estart_stop == 0:
+            return estart_stop
+        return math.ceil(estart_stop / self.ii) * self.ii
+
+    def _init_cap(self) -> None:
+        critical_path = int(self.matrix[self.start_oid, self.stop_oid])
+        self.lstart_cap = self._quantize_cap(max(0, critical_path))
+
+    def _recompute_bounds(self) -> None:
+        """Full O(p*n) recomputation from the placed set (after ejections)."""
+        placed = np.fromiter(self.times.keys(), dtype=np.int64)
+        placed_times = np.fromiter(self.times.values(), dtype=np.int64)
+        # Estart(x) = max over placed p of t_p + MinDist(p, x).
+        from_placed = placed_times[:, None] + self.matrix[placed, :]
+        self.estart = from_placed.max(axis=0)
+        np.clip(self.estart, 0, None, out=self.estart)
+        # Lstart(x) = min(cap - MinDist(x, Stop), t_p - MinDist(x, p)).
+        to_placed = placed_times[None, :] - self.matrix[:, placed]
+        self.lstart = to_placed.min(axis=1)
+        cap_bound = self.lstart_cap - self.matrix[:, self.stop_oid]
+        np.minimum(self.lstart, cap_bound, out=self.lstart)
+        np.clip(self.lstart, None, _HUGE, out=self.lstart)
+        self._bounds_dirty = False
+
+    def _update_bounds_for_placement(self, oid: int, cycle: int) -> None:
+        """Incremental §4.1 update after placing ``oid`` at ``cycle``."""
+        np.maximum(self.estart, cycle + self.matrix[oid, :], out=self.estart)
+        np.minimum(self.lstart, cycle - self.matrix[:, oid], out=self.lstart)
+
+    def _refresh_bounds(self) -> None:
+        """Make bounds valid, growing Lstart(Stop) and ejecting Stop when
+        Estart(Stop) is pushed beyond it (§4.2)."""
+        while True:
+            if self._bounds_dirty:
+                self._recompute_bounds()
+            estart_stop = int(self.estart[self.stop_oid])
+            if self.stop_oid in self.times and estart_stop > self.times[self.stop_oid]:
+                self._eject(self.stop_oid)
+                continue
+            if estart_stop > self.lstart_cap:
+                self.lstart_cap = self._quantize_cap(estart_stop)
+                self._bounds_dirty = True
+                continue
+            break
+
+    # ------------------------------------------------------------------
+    # Placement / ejection (§4.4)
+    # ------------------------------------------------------------------
+    def _eject(self, oid: int) -> None:
+        op = self.loop.ops[oid]
+        self.mrt.remove(op, self.times.pop(oid))
+        self.unplaced.add(oid)
+        self.stats.ejections += 1
+        self._bounds_dirty = True
+
+    def _dependence_conflicts(self, oid: int, cycle: int) -> List[int]:
+        """Placed ops whose times are inconsistent with ``oid @ cycle``.
+
+        MinDist reflects the transitive closure, so this ejects the full
+        set of (possibly indirect) violators, which the paper found
+        reduces overall backtracking.
+        """
+        row = self.matrix[oid, :]
+        col = self.matrix[:, oid]
+        conflicts = []
+        for other, other_time in self.times.items():
+            if other == oid or other == self.start_oid:
+                continue
+            forward = int(row[other])
+            if forward > _NO_PATH_CUTOFF and other_time < cycle + forward:
+                conflicts.append(other)
+                continue
+            backward = int(col[other])
+            if backward > _NO_PATH_CUTOFF and cycle < other_time + backward:
+                conflicts.append(other)
+        return conflicts
+
+    def _force_place(self, op: Operation) -> int:
+        """Step 3: make room for ``op`` by ejecting its blockers."""
+        self.stats.forced += 1
+        cycle = max(int(self.estart[op.oid]), self.last_place.get(op.oid, -1) + 1)
+        # brtop can never be ejected; search past any conflict with it.
+        while True:
+            blockers = self.mrt.conflicts(op, cycle)
+            dep_blockers = self._dependence_conflicts(op.oid, cycle)
+            if -1 in blockers:
+                raise AttemptFailed(f"{op!r} cannot fit at II={self.ii} at all")
+            protected = self.brtop_oid is not None and (
+                self.brtop_oid in blockers or self.brtop_oid in dep_blockers
+            )
+            if protected and op.oid != self.brtop_oid:
+                cycle += 1
+                continue
+            for blocker in set(blockers) | set(dep_blockers):
+                self._eject(blocker)
+            return cycle
+
+    def _place(self, op: Operation, cycle: int) -> None:
+        self.mrt.place(op, cycle)
+        self.times[op.oid] = cycle
+        self.last_place[op.oid] = cycle
+        self.unplaced.discard(op.oid)
+        self.stats.placements += 1
+        if not self._bounds_dirty:
+            self._update_bounds_for_placement(op.oid, cycle)
+
+    # ------------------------------------------------------------------
+    # Heuristic hooks
+    # ------------------------------------------------------------------
+    def choose_operation(self) -> Operation:
+        raise NotImplementedError
+
+    def choose_issue_cycle(self, op: Operation, lo: int, hi: int) -> Optional[int]:
+        """Return a conflict-free cycle in [lo, hi], or None."""
+        raise NotImplementedError
+
+    def scan_window(self, op: Operation, lo: int, hi: int, early: bool) -> Optional[int]:
+        """Linear scan for the first conflict-free cycle (§5.2).
+
+        At most II consecutive cycles need checking (the modulo
+        constraint makes further cycles repeats); the caller already
+        clamps the window accordingly.
+        """
+        cycles = range(lo, hi + 1) if early else range(hi, lo - 1, -1)
+        for cycle in cycles:
+            if self.mrt.fits(op, cycle):
+                return cycle
+        return None
+
+    # ------------------------------------------------------------------
+    # Central loop (§4.2)
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[int, int]:
+        """Place every operation or raise :class:`AttemptFailed`."""
+        while True:
+            self._refresh_bounds()
+            if not self.unplaced:
+                break
+            if self.stats.placements >= self.budget:
+                raise AttemptFailed(
+                    f"budget of {self.budget} placements exhausted at II={self.ii}"
+                )
+            op = self.choose_operation()
+            lo = int(self.estart[op.oid])
+            hi = min(int(self.lstart[op.oid]), lo + self.ii - 1)
+            cycle = self.choose_issue_cycle(op, lo, hi) if lo <= hi else None
+            if cycle is None:
+                cycle = self._force_place(op)
+            self._place(op, cycle)
+        return dict(self.times)
+
+
+def run_attempt(attempt: SchedulingAttempt) -> Optional[Schedule]:
+    """Run one attempt; None if the budget was exhausted."""
+    try:
+        times = attempt.run()
+    except AttemptFailed:
+        return None
+    return Schedule(
+        loop=attempt.loop,
+        machine=attempt.machine,
+        ii=attempt.ii,
+        times=times,
+        binding=attempt.binding,
+    )

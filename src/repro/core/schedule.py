@@ -1,0 +1,133 @@
+"""Schedule objects and scheduler statistics."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+from repro.ir.loop import LoopBody
+from repro.machine.machine import Machine, UnitInstance
+
+
+@dataclasses.dataclass
+class SchedulerStats:
+    """Work counters for one scheduling run (paper §6's effort metrics)."""
+
+    attempts: int = 0  # IIs tried (step-6 restarts = attempts - 1)
+    placements: int = 0  # central-loop iterations (ops placed, incl. re-placements)
+    forced: int = 0  # step-3 invocations (no conflict-free slot existed)
+    ejections: int = 0  # operations ejected from the partial schedule
+    mindist_seconds: float = 0.0
+    scheduling_seconds: float = 0.0
+
+    @property
+    def backtracked(self) -> bool:
+        return self.ejections > 0
+
+    def merge(self, other: "SchedulerStats") -> None:
+        self.attempts += other.attempts
+        self.placements += other.placements
+        self.forced += other.forced
+        self.ejections += other.ejections
+        self.mindist_seconds += other.mindist_seconds
+        self.scheduling_seconds += other.scheduling_seconds
+
+
+@dataclasses.dataclass
+class Schedule:
+    """A complete modulo schedule: issue cycle for every operation."""
+
+    loop: LoopBody
+    machine: Machine
+    ii: int
+    times: Dict[int, int]
+    binding: Dict[int, UnitInstance]
+
+    @property
+    def span(self) -> int:
+        """Schedule length of one iteration (Stop's issue cycle)."""
+        return self.times[self.loop.stop.oid]
+
+    @property
+    def stages(self) -> int:
+        """Number of pipeline stages (kernel copies in flight)."""
+        return max(1, math.ceil(self.span / self.ii))
+
+    def time_of(self, oid: int) -> int:
+        return self.times[oid]
+
+    def kernel_rows(self) -> List[List[int]]:
+        """Oids of real operations grouped by issue row (cycle mod II)."""
+        rows: List[List[int]] = [[] for _ in range(self.ii)]
+        for op in self.loop.real_ops:
+            rows[self.times[op.oid] % self.ii].append(op.oid)
+        for row in rows:
+            row.sort(key=lambda oid: self.times[oid])
+        return rows
+
+    def render(self) -> str:
+        """Readable listing: one line per op, sorted by issue cycle."""
+        lines = [f"schedule {self.loop.name}: II={self.ii}, span={self.span}, stages={self.stages}"]
+        for op in sorted(self.loop.ops, key=lambda op: (self.times[op.oid], op.oid)):
+            lines.append(f"  t={self.times[op.oid]:4d}  row={self.times[op.oid] % self.ii:3d}  {op!r}")
+        return "\n".join(lines)
+
+    def render_resource_table(self) -> str:
+        """ASCII Gantt of the modulo resource table: one line per unit
+        instance, one column per II row, cells showing the issuing op's
+        oid ('=' marks a non-pipelined op's trailing busy cycles)."""
+        machine = self.machine
+        cells: Dict[tuple, List[str]] = {}
+        for class_index, unit_class in enumerate(machine.unit_classes):
+            for instance in range(unit_class.count):
+                cells[(class_index, instance)] = ["."] * self.ii
+        for op in self.loop.real_ops:
+            unit = self.binding.get(op.oid)
+            if unit is None:
+                continue
+            row = self.times[op.oid] % self.ii
+            busy = machine.busy_cycles(op)
+            lane = cells[unit]
+            lane[row] = str(op.oid)
+            for extra in range(1, busy):
+                lane[(row + extra) % self.ii] = "="
+        width = max(2, max((len(c) for lane in cells.values() for c in lane), default=2))
+        lines = [f"modulo resource table (II={self.ii}):"]
+        header = " " * 18 + " ".join(f"{c:>{width}}" for c in range(self.ii))
+        lines.append(header)
+        for (class_index, instance), lane in sorted(cells.items()):
+            name = machine.unit_classes[class_index].name
+            body = " ".join(f"{cell:>{width}}" for cell in lane)
+            lines.append(f"{name + '[' + str(instance) + ']':<18}{body}")
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class ScheduleResult:
+    """Outcome of driving a scheduler over escalating IIs."""
+
+    loop: LoopBody
+    machine: Machine
+    schedule: Optional[Schedule]
+    mii: int
+    res_mii: int
+    rec_mii: int
+    stats: SchedulerStats
+    last_attempted_ii: int
+
+    @property
+    def success(self) -> bool:
+        return self.schedule is not None
+
+    @property
+    def ii(self) -> int:
+        """Achieved II on success; last attempted II on failure (the
+        paper reports Cydrome's 14 failures this way in Table 4)."""
+        if self.schedule is not None:
+            return self.schedule.ii
+        return self.last_attempted_ii
+
+    @property
+    def optimal(self) -> bool:
+        return self.success and self.schedule.ii == self.mii

@@ -1,0 +1,181 @@
+"""The bidirectional slack scheduler — the paper's contribution (§4.3, §5).
+
+Operation choice (§4.3): dynamic priority = current slack
+(``Lstart - Estart``), halved for operations using a critical resource
+(one kept busy >= 0.90*II by each iteration) and halved again for
+divider operations, whose non-pipelined reservation patterns leave few
+issue slots.  Ties break toward the smallest Lstart (a top-down bias
+that interacts well with the backtracking policy).
+
+Issue-cycle choice (§5.2): a *bidirectional* decision.  The scheduler
+counts the operation's stretchable input and output lifetimes and scans
+its window early-to-late or late-to-early accordingly:
+
+* no stretchable inputs or outputs: place early (minimizes schedule
+  length — e.g. an accumulator read only after the loop);
+* more stretchable inputs than outputs: place early (placing late would
+  stretch each input's lifetime);
+* fewer: place late (placing early would stretch its output);
+* tie: place near whichever of its immediate predecessors/successors
+  has the larger fraction already placed (they are less likely to be
+  ejected); on a further tie, place early iff no neighbor is placed.
+
+An input lifetime ``v`` (defined by ``d``, used by this op ``u`` at
+distance ``omega``) is *not* stretchable when
+``Estart(d) + MinLT(v) >= omega*II + Lstart(u)``: even the latest legal
+placement of ``u`` cannot extend ``v`` past its lower-bound lifetime.
+Loop invariants (GPR-resident), duplicate inputs and self-recurrences
+are ignored throughout, as are ICR predicates (this heuristic minimizes
+RR pressure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bounds.lifetimes import min_lifetime
+from repro.bounds.resmii import critical_unit_instances
+from repro.ir.ddg import DDG
+from repro.ir.loop import LoopBody
+from repro.ir.operations import Operation
+from repro.ir.types import DType
+from repro.machine.machine import Machine, UnitInstance
+from repro.core.framework import SchedulingAttempt
+
+
+def _is_rr_flow_value(value) -> bool:
+    return value is not None and value.is_variant and value.dtype is not DType.PRED
+
+
+class SlackAttempt(SchedulingAttempt):
+    """One fixed-II attempt of the bidirectional slack scheduler."""
+
+    def __init__(
+        self,
+        loop: LoopBody,
+        machine: Machine,
+        ddg: DDG,
+        ii: int,
+        binding: Dict[int, UnitInstance],
+        budget_ratio: float = 16.0,
+        bidirectional: bool = True,
+        critical_threshold: float = 0.90,
+        tight_cap: bool = False,
+        dynamic_priority: bool = True,
+    ):
+        super().__init__(loop, machine, ddg, ii, binding, budget_ratio, tight_cap=tight_cap)
+        self.bidirectional = bidirectional
+        #: §8 ablation: with dynamic_priority off, the operation choice
+        #: freezes each op's *initial* slack (as Cydrome's scheduler
+        #: did), so the scheduler cannot detect a recurrence circuit
+        #: becoming "fixed" by a placement.
+        self.dynamic_priority = dynamic_priority
+        self._initial_slack: Optional[Dict[int, float]] = None
+        critical_units = critical_unit_instances(
+            loop, machine, binding, ii, threshold=critical_threshold
+        )
+        #: Critical ops are marked just before attempting each new II.
+        self.critical_ops = {
+            oid for oid, unit in binding.items() if unit in critical_units
+        }
+        #: MinLT per value id, fixed for this II (§5.1).
+        self.minlt = {
+            value.vid: min_lifetime(value, ddg, self.mindist, ii)
+            for value in loop.values
+            if value.is_variant and value.defop is not None
+        }
+
+    # ------------------------------------------------------------------
+    # §4.3: dynamic priority
+    # ------------------------------------------------------------------
+    def priority(self, op: Operation) -> float:
+        """Estimated number of issue slots available to ``op``."""
+        if not self.dynamic_priority:
+            if self._initial_slack is None:
+                self._initial_slack = {}
+            if op.oid not in self._initial_slack:
+                self._initial_slack[op.oid] = self._current_slack(op)
+            return self._initial_slack[op.oid]
+        return self._current_slack(op)
+
+    def _current_slack(self, op: Operation) -> float:
+        slack = float(int(self.lstart[op.oid]) - int(self.estart[op.oid]))
+        if self.contention:
+            if op.oid in self.critical_ops:
+                slack /= 2.0
+            if op.uses_divider:
+                slack /= 2.0
+        return slack
+
+    def choose_operation(self) -> Operation:
+        best_oid = min(
+            self.unplaced,
+            key=lambda oid: (
+                self.priority(self.loop.ops[oid]),
+                int(self.lstart[oid]),
+                oid,
+            ),
+        )
+        return self.loop.ops[best_oid]
+
+    # ------------------------------------------------------------------
+    # §5.2: bidirectional issue-cycle choice
+    # ------------------------------------------------------------------
+    def _stretchable_inputs(self, op: Operation) -> int:
+        seen = set()
+        count = 0
+        for arc in self.ddg.flow_inputs(op):
+            value = arc.value
+            if not _is_rr_flow_value(value) or value.vid in seen:
+                continue
+            if arc.src == op.oid:
+                continue  # self-recurrence: length fixed at omega*II
+            seen.add(value.vid)
+            pinned = (
+                int(self.estart[arc.src]) + self.minlt.get(value.vid, 0)
+                >= arc.omega * self.ii + int(self.lstart[op.oid])
+            )
+            if not pinned:
+                count += 1
+        return count
+
+    def _stretchable_outputs(self, op: Operation) -> int:
+        """In SSA, placing an op early stretches its output; the output
+        counts whenever some other operation consumes the value."""
+        value = op.dest
+        if not _is_rr_flow_value(value):
+            return 0
+        for arc in self.ddg.flow_outputs(op):
+            if arc.value is value and arc.dst != op.oid:
+                return 1
+        return 0
+
+    def prefers_early(self, op: Operation) -> bool:
+        """The §5.2 decision: True to scan Estart->Lstart."""
+        inputs = self._stretchable_inputs(op)
+        outputs = self._stretchable_outputs(op)
+        if inputs == 0 and outputs == 0:
+            return True
+        if inputs != outputs:
+            return inputs > outputs
+        # Tie: place near the group less likely to be ejected.
+        preds, succs = self.ddg.neighbors(op)
+        pred_frac = _placed_fraction(preds, self.times)
+        succ_frac = _placed_fraction(succs, self.times)
+        if pred_frac != succ_frac:
+            return pred_frac > succ_frac
+        any_placed = any(oid in self.times for oid in preds) or any(
+            oid in self.times for oid in succs
+        )
+        return not any_placed
+
+    def choose_issue_cycle(self, op: Operation, lo: int, hi: int) -> Optional[int]:
+        early = self.prefers_early(op) if self.bidirectional else True
+        return self.scan_window(op, lo, hi, early=early)
+
+
+def _placed_fraction(oids, times) -> float:
+    if not oids:
+        return 0.0
+    placed = sum(1 for oid in oids if oid in times)
+    return placed / len(oids)

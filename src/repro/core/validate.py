@@ -1,0 +1,62 @@
+"""Static schedule validation.
+
+A modulo schedule is feasible iff
+
+1. every operation (including Start at cycle 0 and Stop) has a time;
+2. every dependence arc satisfies
+   ``time(dst) >= time(src) + latency - omega * II``;
+3. replaying all placements into a fresh modulo resource table produces
+   no double-booking (the modulo constraint).
+
+:func:`validate_schedule` returns a list of human-readable violations —
+empty means the schedule is provably legal.  The test suite and the
+simulator both lean on this as the ground-truth feasibility oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.ddg import DDG, build_ddg
+from repro.machine.mrt import ModuloResourceTable
+from repro.core.schedule import Schedule
+
+
+def validate_schedule(schedule: Schedule, ddg: Optional[DDG] = None) -> List[str]:
+    """Check a schedule against the modulo-scheduling feasibility rules."""
+    loop, machine, ii = schedule.loop, schedule.machine, schedule.ii
+    if ddg is None:
+        ddg = build_ddg(loop, machine)
+    violations: List[str] = []
+
+    for op in loop.ops:
+        if op.oid not in schedule.times:
+            violations.append(f"unplaced operation: {op!r}")
+    if violations:
+        return violations
+    if schedule.times[loop.start.oid] != 0:
+        violations.append(
+            f"Start must issue at cycle 0, found {schedule.times[loop.start.oid]}"
+        )
+
+    for arc in ddg.arcs:
+        src_time = schedule.times[arc.src]
+        dst_time = schedule.times[arc.dst]
+        required = src_time + arc.latency - arc.omega * ii
+        if dst_time < required:
+            violations.append(
+                f"dependence violated: {arc!r} needs t({arc.dst}) >= {required}, "
+                f"got {dst_time} (t({arc.src}) = {src_time})"
+            )
+
+    mrt = ModuloResourceTable(machine, ii, schedule.binding)
+    for op in loop.real_ops:
+        cycle = schedule.times[op.oid]
+        blockers = mrt.conflicts(op, cycle)
+        if blockers:
+            violations.append(
+                f"resource conflict: {op!r} at cycle {cycle} blocked by oids {blockers}"
+            )
+        else:
+            mrt.place(op, cycle)
+    return violations

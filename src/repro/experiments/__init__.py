@@ -1,0 +1,49 @@
+"""Experiment harness: corpus measurement and table/figure regeneration."""
+
+from repro.experiments.figures import (
+    binned_percentages,
+    cumulative_at,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    render_histogram,
+)
+from repro.experiments.metrics import LoopMetrics, percentile, quantile_row
+from repro.experiments.export import metrics_fieldnames, to_csv, to_json, write_csv, write_json
+from repro.experiments.report import full_report
+from repro.experiments.runner import classify, measure_loop, run_corpus
+from repro.experiments.tables import (
+    scheduling_performance,
+    section6_effort,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "binned_percentages",
+    "cumulative_at",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "render_histogram",
+    "LoopMetrics",
+    "full_report",
+    "metrics_fieldnames",
+    "to_csv",
+    "to_json",
+    "write_csv",
+    "write_json",
+    "percentile",
+    "quantile_row",
+    "classify",
+    "measure_loop",
+    "run_corpus",
+    "scheduling_performance",
+    "section6_effort",
+    "table2",
+    "table3",
+    "table4",
+]

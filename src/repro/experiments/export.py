@@ -1,0 +1,51 @@
+"""Export LoopMetrics to CSV/JSON for external analysis and plotting."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Iterable, List
+
+from repro.experiments.metrics import LoopMetrics
+
+#: Derived fields appended to every exported record.
+_DERIVED = ("optimal", "pressure_gap", "backtracked")
+
+
+def metrics_fieldnames() -> List[str]:
+    """Column names, stable across exports (dataclass order + derived)."""
+    return [field.name for field in dataclasses.fields(LoopMetrics)] + list(_DERIVED)
+
+
+def _row(metric: LoopMetrics) -> dict:
+    record = dataclasses.asdict(metric)
+    for name in _DERIVED:
+        record[name] = getattr(metric, name)
+    return record
+
+
+def to_csv(metrics: Iterable[LoopMetrics]) -> str:
+    """Render metrics as CSV text (header + one row per loop)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=metrics_fieldnames())
+    writer.writeheader()
+    for metric in metrics:
+        writer.writerow(_row(metric))
+    return buffer.getvalue()
+
+
+def to_json(metrics: Iterable[LoopMetrics], indent: int = 2) -> str:
+    """Render metrics as a JSON array of records."""
+    return json.dumps([_row(metric) for metric in metrics], indent=indent)
+
+
+def write_csv(metrics: Iterable[LoopMetrics], path: str) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(metrics))
+
+
+def write_json(metrics: Iterable[LoopMetrics], path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_json(metrics))

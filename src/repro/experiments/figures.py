@@ -1,0 +1,131 @@
+"""Regenerate the paper's Figures 5-8 (register-pressure distributions).
+
+The paper plots percent-of-loops against register counts.  Here each
+figure is produced as (a) the raw binned series, for EXPERIMENTS.md and
+tests, and (b) an ASCII rendering for terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.metrics import LoopMetrics
+
+
+def binned_percentages(values: Sequence[int], bin_width: int = 4, max_bin: int = 96) -> List[Tuple[str, float]]:
+    """Histogram of values as percent-of-loops, with a trailing overflow bin."""
+    if not values:
+        return []
+    edges = list(range(0, max_bin + bin_width, bin_width))
+    counts = [0] * (len(edges) - 1)
+    overflow = 0
+    for value in values:
+        if value >= max_bin:
+            overflow += 1
+            continue
+        # Negative values (MaxLive can dip below MinAvg's per-value
+        # ceilings) land in the first bin: they are "optimal or better".
+        counts[min(max(value, 0) // bin_width, len(counts) - 1)] += 1
+    total = len(values)
+    series = [
+        (f"{edges[i]}-{edges[i + 1] - 1}", 100.0 * counts[i] / total)
+        for i in range(len(counts))
+    ]
+    series.append((f">={max_bin}", 100.0 * overflow / total))
+    return series
+
+
+def cumulative_at(values: Sequence[int], threshold: int) -> float:
+    """Percent of loops with value <= threshold (the paper's headline
+    claims are phrased this way: '92% of the loops use <= 32 RRs')."""
+    if not values:
+        return 0.0
+    return 100.0 * sum(1 for v in values if v <= threshold) / len(values)
+
+
+def render_histogram(title: str, series_by_label: Dict[str, List[Tuple[str, float]]],
+                     width: int = 46) -> str:
+    """ASCII rendering of one or more overlaid histogram series."""
+    lines = [title]
+    for label, series in series_by_label.items():
+        lines.append(f"  [{label}]")
+        peak = max((pct for _, pct in series), default=0.0) or 1.0
+        for bin_label, pct in series:
+            bar = "#" * int(round(width * pct / peak))
+            lines.append(f"    {bin_label:>8} {pct:5.1f}% {bar}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The four figures
+# ----------------------------------------------------------------------
+def figure5(new: Sequence[LoopMetrics], old: Sequence[LoopMetrics]) -> str:
+    """Figure 5: MaxLive - MinAvg, new (slack) vs old (Cydrome) scheduler."""
+    new_gaps = [m.pressure_gap for m in new if m.success]
+    old_gaps = [m.pressure_gap for m in old if m.success]
+    body = render_histogram(
+        "Figure 5: MaxLive - MinAvg (distance from the schedule-independent bound)",
+        {
+            "New Scheduler": binned_percentages(new_gaps, bin_width=2, max_bin=40),
+            "Old Scheduler": binned_percentages(old_gaps, bin_width=2, max_bin=40),
+        },
+    )
+    summary = (
+        f"\n  new: {cumulative_at(new_gaps, 0):.0f}% optimal, "
+        f"{cumulative_at(new_gaps, 10):.0f}% within 10 RRs of ideal"
+        f"\n  old: {cumulative_at(old_gaps, 0):.0f}% optimal, "
+        f"{cumulative_at(old_gaps, 10):.0f}% within 10 RRs of ideal"
+    )
+    return body + summary
+
+
+def figure6(new: Sequence[LoopMetrics], old: Sequence[LoopMetrics]) -> str:
+    """Figure 6: MaxLive (overall RR pressure) for both schedulers."""
+    new_live = [m.max_live for m in new if m.success]
+    old_live = [m.max_live for m in old if m.success]
+    body = render_histogram(
+        "Figure 6: MaxLive (rotating RR pressure)",
+        {
+            "New Scheduler": binned_percentages(new_live),
+            "Old Scheduler": binned_percentages(old_live),
+        },
+    )
+    summary = (
+        f"\n  new: {cumulative_at(new_live, 32):.0f}% of loops use <= 32 RRs; "
+        f"{sum(1 for v in new_live if v > 64)} loops use more than 64"
+    )
+    return body + summary
+
+
+def figure7(new: Sequence[LoopMetrics], old: Sequence[LoopMetrics]) -> str:
+    """Figure 7: GPR pressure and combined GPRs + MaxLive."""
+    gprs = [m.gprs for m in new]
+    new_combined = [m.gprs + m.max_live for m in new if m.success]
+    old_combined = [m.gprs + m.max_live for m in old if m.success]
+    body = render_histogram(
+        "Figure 7: GPRs and GPRs + MaxLive",
+        {
+            "GPRs (either scheduler)": binned_percentages(gprs, bin_width=2, max_bin=48),
+            "New GPRs + MaxLive": binned_percentages(new_combined),
+            "Old GPRs + MaxLive": binned_percentages(old_combined),
+        },
+    )
+    summary = (
+        f"\n  {cumulative_at(gprs, 16):.0f}% of loops use <= 16 GPRs; "
+        f"{cumulative_at(new_combined, 32):.0f}% keep RRs + GPRs <= 32; "
+        f"{sum(1 for v in new_combined if v > 64)} loops exceed 64 combined"
+    )
+    return body + summary
+
+
+def figure8(new: Sequence[LoopMetrics]) -> str:
+    """Figure 8: ICR predicate usage (including staging predicates)."""
+    icr = [m.icr for m in new if m.success]
+    body = render_histogram(
+        "Figure 8: ICR Predicate Usage",
+        {"New Scheduler": binned_percentages(icr, bin_width=2, max_bin=48)},
+    )
+    summary = (
+        f"\n  {sum(1 for v in icr if v > 32)} loop(s) use more than 32 ICR predicates"
+    )
+    return body + summary

@@ -1,0 +1,80 @@
+"""Per-loop measurement records for the paper's evaluation (§6, §7)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+
+@dataclasses.dataclass
+class LoopMetrics:
+    """Everything Tables 2-4 and Figures 5-8 need about one loop."""
+
+    name: str
+    klass: str  # "conditional" | "recurrence" | "both" | "neither"
+
+    # Table 2 complexity metrics.
+    n_basic_blocks: int
+    n_ops: int
+    n_critical_ops_at_mii: int
+    n_recurrence_ops: int
+    n_div_ops: int
+    rec_mii: int
+    res_mii: int
+    mii: int
+    min_avg_at_mii: int
+    gprs: int
+
+    # Scheduling outcome.
+    success: bool
+    ii: int  # achieved II (or last attempted on failure)
+    span: int
+    stages: int
+
+    # Register pressure of the found schedule.
+    max_live: int
+    min_avg: int  # MinAvg at the achieved II (Figure 5's baseline)
+    icr: int
+
+    # Scheduler effort (§6).
+    attempts: int
+    placements: int
+    forced: int
+    ejections: int
+    mindist_seconds: float
+    scheduling_seconds: float
+    recmii_seconds: float
+
+    @property
+    def optimal(self) -> bool:
+        return self.success and self.ii == self.mii
+
+    @property
+    def pressure_gap(self) -> int:
+        """MaxLive - MinAvg: distance from the absolute pressure bound."""
+        return self.max_live - self.min_avg
+
+    @property
+    def backtracked(self) -> bool:
+        return self.ejections > 0
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(fraction * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def quantile_row(values: List[float]) -> "tuple[float, float, float, float]":
+    """(min, median, 90th percentile, max) — the paper's table columns."""
+    ordered = sorted(values)
+    if not ordered:
+        return (0.0, 0.0, 0.0, 0.0)
+    return (
+        ordered[0],
+        percentile(ordered, 0.50),
+        percentile(ordered, 0.90),
+        ordered[-1],
+    )

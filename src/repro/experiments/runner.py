@@ -1,0 +1,126 @@
+"""Corpus runner: schedule every loop and collect LoopMetrics."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Union
+
+from repro.bounds import (
+    MinDist,
+    critical_unit_instances,
+    gpr_count,
+    icr_usage,
+    min_avg,
+    recmii,
+    recurrence_ops,
+    resmii,
+    rr_max_live,
+)
+from repro.core import SchedulerOptions, modulo_schedule
+from repro.frontend import DoLoop, compile_loop
+from repro.ir import DIVIDER_OPCODES, LoopBody, build_ddg
+from repro.machine import Machine, cydra5
+from repro.experiments.metrics import LoopMetrics
+
+
+def classify(loop: LoopBody, ddg, rec_mii: int) -> str:
+    """Table 3's four loop classes.
+
+    "Has recurrence" means the loop carries a *scheduling-relevant*
+    recurrence: a non-trivial circuit or a trivial one tight enough to
+    constrain II (RecMII > 1).
+    """
+    has_conditional = bool(loop.meta.get("has_conditional", False))
+    has_recurrence = rec_mii > 1 or bool(recurrence_ops(ddg))
+    if has_conditional and has_recurrence:
+        return "both"
+    if has_conditional:
+        return "conditional"
+    if has_recurrence:
+        return "recurrence"
+    return "neither"
+
+
+def measure_loop(
+    program: Union[DoLoop, LoopBody],
+    machine: Optional[Machine] = None,
+    algorithm: str = "slack",
+    options: Optional[SchedulerOptions] = None,
+) -> LoopMetrics:
+    """Schedule one loop and record every evaluation metric."""
+    machine = machine or cydra5()
+    loop = compile_loop(program) if isinstance(program, DoLoop) else program
+    ddg = build_ddg(loop, machine)
+
+    started = time.perf_counter()
+    rec_mii = recmii(ddg)
+    recmii_seconds = time.perf_counter() - started
+    res_mii = resmii(loop, machine)
+    mii = max(rec_mii, res_mii)
+
+    binding = machine.bind_units(loop)
+    critical_units = critical_unit_instances(loop, machine, binding, mii)
+    n_critical = sum(1 for oid, unit in binding.items() if unit in critical_units)
+    n_div = sum(1 for op in loop.real_ops if op.opcode in DIVIDER_OPCODES)
+    mindist_at_mii = MinDist(ddg, mii)
+    min_avg_mii = min_avg(loop, ddg, mindist_at_mii, mii)
+
+    result = modulo_schedule(loop, machine, algorithm=algorithm, options=options, ddg=ddg)
+
+    if result.success:
+        times = result.schedule.times
+        achieved_ii = result.schedule.ii
+        mindist_at_ii = (
+            mindist_at_mii if achieved_ii == mii else MinDist(ddg, achieved_ii)
+        )
+        max_live_value = rr_max_live(loop, ddg, times, achieved_ii)
+        min_avg_value = min_avg(loop, ddg, mindist_at_ii, achieved_ii)
+        icr_value = icr_usage(loop, ddg, times, achieved_ii)
+        span, stages = result.schedule.span, result.schedule.stages
+    else:
+        achieved_ii = result.last_attempted_ii
+        max_live_value = min_avg_value = icr_value = 0
+        span = stages = 0
+
+    return LoopMetrics(
+        name=loop.name,
+        klass=classify(loop, ddg, rec_mii),
+        n_basic_blocks=int(loop.meta.get("n_basic_blocks", 1)),
+        n_ops=len(loop.real_ops),
+        n_critical_ops_at_mii=n_critical,
+        n_recurrence_ops=len(recurrence_ops(ddg)),
+        n_div_ops=n_div,
+        rec_mii=rec_mii,
+        res_mii=res_mii,
+        mii=mii,
+        min_avg_at_mii=min_avg_mii,
+        gprs=gpr_count(loop),
+        success=result.success,
+        ii=achieved_ii,
+        span=span,
+        stages=stages,
+        max_live=max_live_value,
+        min_avg=min_avg_value,
+        icr=icr_value,
+        attempts=result.stats.attempts,
+        placements=result.stats.placements,
+        forced=result.stats.forced,
+        ejections=result.stats.ejections,
+        mindist_seconds=result.stats.mindist_seconds,
+        scheduling_seconds=result.stats.scheduling_seconds,
+        recmii_seconds=recmii_seconds,
+    )
+
+
+def run_corpus(
+    programs,
+    machine: Optional[Machine] = None,
+    algorithm: str = "slack",
+    options: Optional[SchedulerOptions] = None,
+) -> List[LoopMetrics]:
+    """Measure a whole corpus with one scheduler configuration."""
+    machine = machine or cydra5()
+    return [
+        measure_loop(program, machine, algorithm=algorithm, options=options)
+        for program in programs
+    ]

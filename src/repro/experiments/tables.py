@@ -1,0 +1,132 @@
+"""Regenerate the paper's Tables 2, 3 and 4 from LoopMetrics records."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.experiments.metrics import LoopMetrics, quantile_row
+
+_CLASS_LABELS = [
+    ("conditional", "Has Conditional"),
+    ("recurrence", "Has Recurrence"),
+    ("both", "Has Both"),
+    ("neither", "Has Neither"),
+]
+
+
+def _fmt_quantiles(values: List[float], as_int: bool = True) -> str:
+    low, median, p90, high = quantile_row(values)
+    if as_int:
+        return f"{int(low):>6d} {int(median):>6d} {int(p90):>6d} {int(high):>7d}"
+    return f"{low:>6.2f} {median:>6.2f} {p90:>6.2f} {high:>7.2f}"
+
+
+def table2(metrics: Sequence[LoopMetrics]) -> str:
+    """Table 2: measurements from all corpus loops (min/50%/90%/max)."""
+    rows: List[Tuple[str, List[float]]] = [
+        ("# Basic Blocks", [m.n_basic_blocks for m in metrics]),
+        ("# Operations", [m.n_ops for m in metrics]),
+        ("# Critical Ops at MII", [m.n_critical_ops_at_mii for m in metrics]),
+        ("# Ops on Recurrences", [m.n_recurrence_ops for m in metrics]),
+        ("# Div/Mod/Sqrt Ops", [m.n_div_ops for m in metrics]),
+        ("RecMII", [m.rec_mii for m in metrics]),
+        ("ResMII", [m.res_mii for m in metrics]),
+        ("MII", [m.mii for m in metrics]),
+        ("MinAvg at MII", [m.min_avg_at_mii for m in metrics]),
+        ("# GPRs", [m.gprs for m in metrics]),
+    ]
+    lines = [
+        f"Table 2: Measurements from all {len(metrics)} Loops",
+        f"{'Metric':<24} {'Min':>6} {'50%':>6} {'90%':>6} {'Max':>7}",
+    ]
+    for label, values in rows:
+        lines.append(f"{label:<24} {_fmt_quantiles(values)}")
+    return "\n".join(lines)
+
+
+def scheduling_performance(metrics: Sequence[LoopMetrics], title: str) -> str:
+    """Tables 3/4: per-class optimality and II totals, plus the
+    II > MII sub-table."""
+    lines = [
+        title,
+        f"{'Loop Class':<18} {'Opt':>5} {'All':>5} {'%':>6} "
+        f"{'Sum II':>8} {'Sum MII':>8} {'Ratio':>6}",
+    ]
+    for key, label in _CLASS_LABELS + [(None, "All Loops")]:
+        group = [m for m in metrics if key is None or m.klass == key]
+        if not group:
+            lines.append(f"{label:<18} {0:>5} {0:>5} {'-':>6} {0:>8} {0:>8} {'-':>6}")
+            continue
+        optimal = sum(1 for m in group if m.optimal)
+        sum_ii = sum(m.ii for m in group)
+        sum_mii = sum(m.mii for m in group)
+        ratio = sum_ii / sum_mii if sum_mii else 0.0
+        lines.append(
+            f"{label:<18} {optimal:>5} {len(group):>5} "
+            f"{100.0 * optimal / len(group):>5.1f}% {sum_ii:>8} {sum_mii:>8} {ratio:>6.3f}"
+        )
+
+    suboptimal = [m for m in metrics if not m.optimal]
+    failures = sum(1 for m in metrics if not m.success)
+    lines.append("")
+    lines.append(f"For the {len(suboptimal)} Loops with II > MII "
+                 f"({failures} failed to pipeline)")
+    lines.append(f"{'Metric':<12} {'Min':>6} {'50%':>6} {'90%':>6} {'Max':>7}")
+    if suboptimal:
+        rows = [
+            ("II", [m.ii for m in suboptimal]),
+            ("MII", [m.mii for m in suboptimal]),
+            ("II - MII", [m.ii - m.mii for m in suboptimal]),
+            ("II / MII", [m.ii / m.mii for m in suboptimal]),
+        ]
+        for label, values in rows:
+            as_int = label != "II / MII"
+            lines.append(f"{label:<12} {_fmt_quantiles(values, as_int=as_int)}")
+    else:
+        lines.append("(every loop achieved MII)")
+    return "\n".join(lines)
+
+
+def table3(metrics: Sequence[LoopMetrics]) -> str:
+    return scheduling_performance(metrics, "Table 3: Slack Scheduling Performance")
+
+
+def table4(metrics: Sequence[LoopMetrics]) -> str:
+    return scheduling_performance(metrics, "Table 4: Cydrome-style Scheduling Performance")
+
+
+def section6_effort(metrics: Sequence[LoopMetrics]) -> str:
+    """§6's compilation-effort statistics for one scheduler run."""
+    total_ops = sum(m.n_ops for m in metrics)
+    no_backtracking = [m for m in metrics if not m.backtracked]
+    backtracking = [m for m in metrics if m.backtracked]
+    placements = sum(m.placements for m in metrics)
+    ejections = sum(m.ejections for m in metrics)
+    forced = sum(m.forced for m in metrics)
+    restarts = sum(m.attempts - 1 for m in metrics)
+    mindist_s = sum(m.mindist_seconds for m in metrics)
+    sched_s = sum(m.scheduling_seconds for m in metrics)
+    recmii_s = sum(m.recmii_seconds for m in metrics)
+    total_s = mindist_s + sched_s + recmii_s
+    lines = [
+        "Section 6: Scheduler Effort",
+        f"loops scheduled:                {len(metrics)}",
+        f"total operations:               {total_ops}",
+        f"loops needing no backtracking:  {len(no_backtracking)} "
+        f"(covering {sum(m.n_ops for m in no_backtracking)} ops)",
+        f"loops that backtracked:         {len(backtracking)}",
+        f"central-loop iterations:        {placements}",
+        f"step-3 (force) invocations:     {forced}",
+        f"operations ejected:             {ejections}",
+        f"step-6 restarts (II bumps):     {restarts}",
+        f"time: RecMII {recmii_s:.2f}s ({_pct(recmii_s, total_s)}), "
+        f"MinDist {mindist_s:.2f}s ({_pct(mindist_s, total_s)}), "
+        f"placement+backtracking {sched_s:.2f}s ({_pct(sched_s, total_s)})",
+    ]
+    return "\n".join(lines)
+
+
+def _pct(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "0%"
+    return f"{100.0 * part / whole:.0f}%"

@@ -1,0 +1,51 @@
+"""Front end: the DO-loop DSL and its compiler to schedulable loop IR."""
+
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    DoLoop,
+    ExitIf,
+    Expr,
+    Gather,
+    If,
+    Index,
+    Scalar,
+    Scatter,
+    Stmt,
+    Unary,
+)
+from repro.frontend.compiler import CompileError, LoopCompiler, compile_loop
+from repro.frontend.parser import ParseError, parse_loop
+from repro.frontend.printer import render_expr, render_loop, save_corpus
+from repro.frontend.transforms import UnrollError, unroll
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Compare",
+    "Const",
+    "DoLoop",
+    "ExitIf",
+    "Expr",
+    "Gather",
+    "If",
+    "Index",
+    "Scalar",
+    "Scatter",
+    "Stmt",
+    "Unary",
+    "CompileError",
+    "LoopCompiler",
+    "compile_loop",
+    "ParseError",
+    "parse_loop",
+    "render_expr",
+    "render_loop",
+    "save_corpus",
+    "UnrollError",
+    "unroll",
+]

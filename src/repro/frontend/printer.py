@@ -1,0 +1,136 @@
+"""Render DoLoop programs back to loop-language source.
+
+The inverse of :mod:`repro.frontend.parser` (up to the inherent
+ambiguity that an indirect access whose index happens to be affine in
+``i`` prints identically to an affine reference).  Used to export
+generated corpora as human-readable ``.loop`` files and to round-trip
+test the parser.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    DoLoop,
+    ExitIf,
+    Expr,
+    Gather,
+    If,
+    Index,
+    Scalar,
+    Scatter,
+    Stmt,
+    Unary,
+)
+
+#: Binding strength for parenthesization decisions.
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def _number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value)) + ".0"
+    return repr(float(value))
+
+
+def _subscript(stride: int, offset: int) -> str:
+    parts = "i" if stride == 1 else f"{stride}*i"
+    if offset > 0:
+        return f"{parts} + {offset}"
+    if offset < 0:
+        return f"{parts} - {-offset}"
+    return parts
+
+
+def render_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    """Render one expression, parenthesizing only where needed."""
+    if isinstance(expr, Const):
+        return _number(expr.value)
+    if isinstance(expr, Scalar):
+        return expr.name
+    if isinstance(expr, Index):
+        return "i"
+    if isinstance(expr, ArrayRef):
+        return f"{expr.array}({_subscript(expr.stride, expr.offset)})"
+    if isinstance(expr, Gather):
+        return f"{expr.array}({render_expr(expr.index)})"
+    if isinstance(expr, Unary):
+        if expr.op == "neg":
+            return f"-{render_expr(expr.operand, 3)}"
+        return f"{expr.op}({render_expr(expr.operand)})"
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return f"{expr.op}({render_expr(expr.left)}, {render_expr(expr.right)})"
+        mine = _PRECEDENCE[expr.op]
+        left = render_expr(expr.left, mine)
+        # Right operand needs parens at equal precedence: a - (b - c).
+        right = render_expr(expr.right, mine + 1)
+        text = f"{left} {expr.op} {right}"
+        if mine < parent_precedence:
+            return f"({text})"
+        return text
+    if isinstance(expr, Compare):
+        return f"{render_expr(expr.left)} {expr.op} {render_expr(expr.right)}"
+    raise TypeError(f"cannot render {expr!r}")
+
+
+def _render_statements(stmts, indent: int, lines: List[str]) -> None:
+    pad = "    " * indent
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            target = stmt.target
+            if isinstance(target, Scalar):
+                lhs = target.name
+            elif isinstance(target, ArrayRef):
+                lhs = f"{target.array}({_subscript(target.stride, target.offset)})"
+            elif isinstance(target, Scatter):
+                lhs = f"{target.array}({render_expr(target.index)})"
+            else:
+                raise TypeError(f"cannot render target {target!r}")
+            lines.append(f"{pad}{lhs} = {render_expr(stmt.expr)}")
+        elif isinstance(stmt, If):
+            lines.append(f"{pad}if ({render_expr(stmt.cond)}) then")
+            _render_statements(stmt.then, indent + 1, lines)
+            if stmt.orelse:
+                lines.append(f"{pad}else")
+                _render_statements(stmt.orelse, indent + 1, lines)
+            lines.append(f"{pad}end if")
+        elif isinstance(stmt, ExitIf):
+            lines.append(f"{pad}if ({render_expr(stmt.cond)}) exit")
+        else:
+            raise TypeError(f"cannot render statement {stmt!r}")
+
+
+def render_loop(program: DoLoop) -> str:
+    """Render a whole DoLoop as loop-language source."""
+    lines: List[str] = [f"loop {program.name}"]
+    for name in sorted(program.arrays):
+        lines.append(f"array {name} {program.arrays[name]}")
+    for name in sorted(program.scalars):
+        lines.append(f"scalar {name} {program.scalars[name]}")
+    if program.live_out:
+        lines.append("liveout " + " ".join(program.live_out))
+    lines.append(f"do i = {program.start}, {program.start + program.trip - 1}")
+    _render_statements(program.body, 1, lines)
+    lines.append("end do")
+    return "\n".join(lines) + "\n"
+
+
+def save_corpus(programs, directory: str) -> List[str]:
+    """Write each program to ``directory/<name>.loop``; returns paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for program in programs:
+        path = os.path.join(directory, f"{program.name}.loop")
+        with open(path, "w") as handle:
+            handle.write(render_loop(program))
+        paths.append(path)
+    return paths

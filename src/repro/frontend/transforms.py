@@ -1,0 +1,127 @@
+"""Source-level loop transformations.
+
+The paper's §3.1 observes that MII's ceiling hides *fractional* lower
+bounds: a loop whose exact minimum is II = 3/2 must settle for II = 2 —
+unless the compiler unrolls it once and schedules the unrolled body at
+II = 3, recovering the fractional rate.  The paper's compiler "does not
+perform any such loop transformations"; this module adds the missing
+piece so the effect can be measured (see
+``benchmarks/bench_extension_unroll.py``).
+
+:func:`unroll` rewrites a DoLoop by factor F: the new loop runs
+``trip / F`` iterations, each executing F shifted copies of the body.
+An affine reference ``a(s*i + d)`` in copy u becomes
+``a(s*F*j + (s*(start+u) + d))`` over the new index j (which starts at
+0), the loop index expression ``i`` becomes ``F*j + (start + u)``, and
+statements stay in copy order so scalar recurrences keep their exact
+sequential semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    DoLoop,
+    Expr,
+    Gather,
+    If,
+    Index,
+    Scalar,
+    Scatter,
+    Stmt,
+    Unary,
+)
+
+
+class UnrollError(ValueError):
+    """The loop cannot be unrolled by the requested factor."""
+
+
+def unroll(program: DoLoop, factor: int) -> DoLoop:
+    """Unroll ``program`` by ``factor``; trip must divide evenly."""
+    if factor < 1:
+        raise UnrollError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return program
+    if program.trip % factor != 0:
+        raise UnrollError(
+            f"trip count {program.trip} is not a multiple of factor {factor}"
+        )
+    body: List[Stmt] = []
+    for copy in range(factor):
+        body.extend(
+            _shift_stmt(stmt, program.start, factor, copy) for stmt in program.body
+        )
+    return DoLoop(
+        name=f"{program.name}_x{factor}",
+        body=body,
+        arrays=dict(program.arrays),
+        scalars=dict(program.scalars),
+        start=0,
+        trip=program.trip // factor,
+        live_out=list(program.live_out),
+    )
+
+
+def _shift_stmt(stmt: Stmt, start: int, factor: int, copy: int) -> Stmt:
+    if isinstance(stmt, Assign):
+        target = stmt.target
+        if isinstance(target, ArrayRef):
+            target = _shift_ref(target, start, factor, copy)
+        elif isinstance(target, Scatter):
+            target = Scatter(target.array, _shift_expr(target.index, start, factor, copy))
+        return Assign(target, _shift_expr(stmt.expr, start, factor, copy))
+    if isinstance(stmt, If):
+        return If(
+            _shift_expr(stmt.cond, start, factor, copy),
+            then=[_shift_stmt(s, start, factor, copy) for s in stmt.then],
+            orelse=[_shift_stmt(s, start, factor, copy) for s in stmt.orelse],
+        )
+    raise UnrollError(f"cannot unroll statement {stmt!r}")
+
+
+def _shift_ref(ref: ArrayRef, start: int, factor: int, copy: int) -> ArrayRef:
+    # a(s*i + d) with i = start + k*factor + copy over new index j = k
+    # (new start 0): stride s*factor, offset s*(start + copy) + d.
+    return ArrayRef(
+        ref.array,
+        offset=ref.stride * (start + copy) + ref.offset,
+        stride=ref.stride * factor,
+    )
+
+
+def _shift_expr(expr: Expr, start: int, factor: int, copy: int) -> Expr:
+    if isinstance(expr, (Const, Scalar)):
+        return expr
+    if isinstance(expr, Index):
+        # old i = factor*j + (start + copy), with the new loop's start=0.
+        return BinOp(
+            "+",
+            BinOp("*", Index(), Const(float(factor))),
+            Const(float(start + copy)),
+        )
+    if isinstance(expr, ArrayRef):
+        return _shift_ref(expr, start, factor, copy)
+    if isinstance(expr, Gather):
+        return Gather(expr.array, _shift_expr(expr.index, start, factor, copy))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _shift_expr(expr.left, start, factor, copy),
+            _shift_expr(expr.right, start, factor, copy),
+        )
+    if isinstance(expr, Unary):
+        return Unary(expr.op, _shift_expr(expr.operand, start, factor, copy))
+    if isinstance(expr, Compare):
+        return Compare(
+            expr.op,
+            _shift_expr(expr.left, start, factor, copy),
+            _shift_expr(expr.right, start, factor, copy),
+        )
+    raise UnrollError(f"cannot unroll expression {expr!r}")

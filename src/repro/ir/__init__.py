@@ -1,0 +1,40 @@
+"""Loop intermediate representation: SSA values, operations, dependence graph."""
+
+from repro.ir.ddg import DDG, Arc, ArcKind, build_ddg
+from repro.ir.loop import LoopBody, MemDep
+from repro.ir.operations import (
+    COMPARE_OPCODES,
+    DIVIDER_OPCODES,
+    SIDE_EFFECT_OPCODES,
+    Opcode,
+    Operation,
+)
+from repro.ir.types import DType, ValueKind
+from repro.ir.values import (
+    AddressOrigin,
+    ArrayElementOrigin,
+    Operand,
+    ScalarOrigin,
+    Value,
+)
+
+__all__ = [
+    "DDG",
+    "Arc",
+    "ArcKind",
+    "build_ddg",
+    "LoopBody",
+    "MemDep",
+    "Opcode",
+    "Operation",
+    "COMPARE_OPCODES",
+    "DIVIDER_OPCODES",
+    "SIDE_EFFECT_OPCODES",
+    "DType",
+    "ValueKind",
+    "AddressOrigin",
+    "ArrayElementOrigin",
+    "Operand",
+    "ScalarOrigin",
+    "Value",
+]

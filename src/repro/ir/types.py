@@ -1,0 +1,53 @@
+"""Scalar data types used by the loop IR.
+
+The target machine (a Cydra-5-like VLIW, see :mod:`repro.machine`) has
+three register files, and every IR value is typed so it can be assigned
+to the correct file:
+
+* ``INT``, ``FLOAT`` and ``ADDR`` loop variants live in the rotating RR
+  file; loop invariants of those types live in the GPR file.
+* ``PRED`` (1-bit predicates) live in the rotating ICR file.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DType(enum.Enum):
+    """Data type of an IR value."""
+
+    INT = "int"
+    FLOAT = "float"
+    ADDR = "addr"
+    PRED = "pred"
+
+    @property
+    def is_predicate(self) -> bool:
+        """True for 1-bit predicate values (stored in the ICR file)."""
+        return self is DType.PRED
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+class ValueKind(enum.Enum):
+    """How a value is produced, which decides its register file.
+
+    VARIANT
+        Defined anew by an operation on every loop iteration; lives in a
+        rotating register file (RR for data, ICR for predicates).
+    INVARIANT
+        Loop invariant (an incoming scalar, array base address, or other
+        quantity that does not change across iterations); lives in the
+        GPR file.
+    CONSTANT
+        A compile-time literal folded into the instruction.
+    """
+
+    VARIANT = "variant"
+    INVARIANT = "invariant"
+    CONSTANT = "constant"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ValueKind.{self.name}"

@@ -1,0 +1,17 @@
+"""Cydra-5-like VLIW machine model: units, reservations, register files."""
+
+from repro.machine.machine import Machine, UnitInstance, cydra5
+from repro.machine.mrt import ModuloResourceTable
+from repro.machine.registers import RotatingFile, StaticFile
+from repro.machine.units import UnitClass, table1_units
+
+__all__ = [
+    "Machine",
+    "UnitInstance",
+    "cydra5",
+    "ModuloResourceTable",
+    "RotatingFile",
+    "StaticFile",
+    "UnitClass",
+    "table1_units",
+]

@@ -1,0 +1,107 @@
+"""Modulo resource table (MRT).
+
+The MRT has II rows; placing an operation at cycle ``t`` reserves its
+bound unit instance at rows ``(t + k) mod II`` for every cycle ``k`` of
+its busy pattern (1 cycle for pipelined units, the whole latency for the
+non-pipelined divider).  No resource may be reserved twice in the same
+row — the modulo constraint (paper §1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.operations import Operation
+from repro.machine.machine import Machine, UnitInstance
+
+
+class ModuloResourceTable:
+    """Tracks unit-instance reservations modulo II.
+
+    Each cell holds the oid of the operation occupying that (row, unit
+    instance), or None.  Operations are identified by oid so ejection
+    can release exactly the right reservations.
+    """
+
+    def __init__(self, machine: Machine, ii: int, binding: Dict[int, UnitInstance]):
+        if ii < 1:
+            raise ValueError(f"II must be positive, got {ii}")
+        self.machine = machine
+        self.ii = ii
+        self.binding = binding
+        #: (unit_class, instance) -> list of II cells, each None or an oid.
+        self._rows: Dict[UnitInstance, List[Optional[int]]] = {}
+        for class_index, unit_class in enumerate(machine.unit_classes):
+            for instance in range(unit_class.count):
+                self._rows[(class_index, instance)] = [None] * ii
+
+    # ------------------------------------------------------------------
+    def _footprint(self, op: Operation, cycle: int) -> Tuple[UnitInstance, List[int]]:
+        unit = self.binding[op.oid]
+        busy = self.machine.busy_cycles(op)
+        rows = [(cycle + k) % self.ii for k in range(busy)]
+        return unit, rows
+
+    def conflicts(self, op: Operation, cycle: int) -> List[int]:
+        """Oids of placed operations that block ``op`` at ``cycle``.
+
+        A busy pattern longer than II necessarily collides with itself;
+        that is reported as a conflict with oid -1 (unresolvable at this
+        II).
+        """
+        if op.oid not in self.binding:
+            return []
+        unit, rows = self._footprint(op, cycle)
+        if self.machine.busy_cycles(op) > self.ii:
+            return [-1]
+        cells = self._rows[unit]
+        blockers: List[int] = []
+        for row in rows:
+            occupant = cells[row]
+            if occupant is not None and occupant != op.oid and occupant not in blockers:
+                blockers.append(occupant)
+        return blockers
+
+    def fits(self, op: Operation, cycle: int) -> bool:
+        """True if ``op`` can be placed at ``cycle`` without conflicts."""
+        return not self.conflicts(op, cycle)
+
+    def place(self, op: Operation, cycle: int) -> None:
+        """Reserve ``op``'s footprint; raises if any cell is occupied."""
+        if op.oid not in self.binding:
+            return  # pseudo op: no resources
+        blockers = self.conflicts(op, cycle)
+        if blockers:
+            raise ValueError(f"resource conflict placing {op!r} at {cycle}: {blockers}")
+        unit, rows = self._footprint(op, cycle)
+        cells = self._rows[unit]
+        for row in rows:
+            cells[row] = op.oid
+
+    def remove(self, op: Operation, cycle: int) -> None:
+        """Release the reservations ``op`` made at ``cycle``."""
+        if op.oid not in self.binding:
+            return
+        unit, rows = self._footprint(op, cycle)
+        cells = self._rows[unit]
+        for row in rows:
+            if cells[row] == op.oid:
+                cells[row] = None
+
+    def occupancy(self) -> int:
+        """Total number of reserved cells (for tests and stats)."""
+        return sum(
+            1 for cells in self._rows.values() for cell in cells if cell is not None
+        )
+
+    def render(self) -> str:
+        """ASCII dump of the table, one line per unit instance."""
+        lines = []
+        for (class_index, instance), cells in sorted(self._rows.items()):
+            name = self.machine.unit_classes[class_index].name
+            body = " ".join("." if cell is None else str(cell) for cell in cells)
+            lines.append(f"{name}[{instance}]: {body}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ModuloResourceTable(ii={self.ii}, occupied={self.occupancy()})"

@@ -1,0 +1,133 @@
+"""Functional-unit classes and the paper's Table 1 latencies.
+
+All units are fully pipelined except the divider, which is not pipelined
+at all: a divider operation reserves its unit for its entire latency.
+The compiler honors latencies statically (no interlocks except the
+memory-latency freeze, which we do not need because the simulated memory
+always hits within the scheduled latency).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.ir.operations import Opcode
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitClass:
+    """A class of identical functional units.
+
+    Attributes:
+        name: Display name ("Memory Port", "Adder", ...).
+        count: Number of identical unit instances.
+        pipelined: If False, an operation reserves its unit instance for
+            ``latency`` consecutive cycles instead of just its issue
+            cycle.
+        op_latencies: Opcode -> latency for every opcode this class
+            executes.
+    """
+
+    name: str
+    count: int
+    pipelined: bool
+    op_latencies: Tuple[Tuple[Opcode, int], ...]
+
+    def latency(self, opcode: Opcode) -> int:
+        for candidate, latency in self.op_latencies:
+            if candidate is opcode:
+                return latency
+        raise KeyError(f"{self.name} does not execute {opcode}")
+
+    def opcodes(self) -> Tuple[Opcode, ...]:
+        return tuple(opcode for opcode, _ in self.op_latencies)
+
+    def busy_cycles(self, opcode: Opcode) -> int:
+        """Cycles an op of this class occupies one unit instance."""
+        return 1 if self.pipelined else self.latency(opcode)
+
+    def __repr__(self) -> str:
+        return f"UnitClass({self.name!r}, count={self.count})"
+
+
+def table1_units(load_latency: int = 13) -> Tuple[UnitClass, ...]:
+    """The functional units of the paper's Table 1.
+
+    ``load_latency`` models the memory latency register (§2.1): the
+    compiler chooses the load latency it schedules for; 13 is the
+    paper's bypass-L1-hit-L2 figure.
+    """
+    return (
+        UnitClass(
+            name="Memory Port",
+            count=2,
+            pipelined=True,
+            op_latencies=(
+                (Opcode.LOAD, load_latency),
+                (Opcode.STORE, 1),
+            ),
+        ),
+        UnitClass(
+            name="Address ALU",
+            count=2,
+            pipelined=True,
+            op_latencies=(
+                (Opcode.ADDR_ADD, 1),
+                (Opcode.ADDR_SUB, 1),
+                (Opcode.ADDR_MUL, 1),
+            ),
+        ),
+        UnitClass(
+            name="Adder",
+            count=1,
+            pipelined=True,
+            op_latencies=(
+                (Opcode.ADD_I, 1),
+                (Opcode.SUB_I, 1),
+                (Opcode.AND_B, 1),
+                (Opcode.OR_B, 1),
+                (Opcode.XOR_B, 1),
+                (Opcode.NOT_B, 1),
+                (Opcode.ADD_F, 1),
+                (Opcode.SUB_F, 1),
+                (Opcode.ABS_F, 1),
+                (Opcode.NEG_F, 1),
+                (Opcode.MIN_F, 1),
+                (Opcode.MAX_F, 1),
+                (Opcode.SELECT, 1),
+                (Opcode.CMP_LT, 1),
+                (Opcode.CMP_LE, 1),
+                (Opcode.CMP_GT, 1),
+                (Opcode.CMP_GE, 1),
+                (Opcode.CMP_EQ, 1),
+                (Opcode.CMP_NE, 1),
+            ),
+        ),
+        UnitClass(
+            name="Multiplier",
+            count=1,
+            pipelined=True,
+            op_latencies=(
+                (Opcode.MUL_I, 2),
+                (Opcode.MUL_F, 2),
+            ),
+        ),
+        UnitClass(
+            name="Divider",
+            count=1,
+            pipelined=False,
+            op_latencies=(
+                (Opcode.DIV_I, 17),
+                (Opcode.DIV_F, 17),
+                (Opcode.MOD_I, 17),
+                (Opcode.SQRT_F, 21),
+            ),
+        ),
+        UnitClass(
+            name="Branch Unit",
+            count=1,
+            pipelined=True,
+            op_latencies=((Opcode.BRTOP, 2),),
+        ),
+    )

@@ -1,0 +1,18 @@
+"""Rotating register allocation (RR/ICR) and GPR assignment."""
+
+from repro.regalloc.files import RegisterAssignment, allocate_registers
+from repro.regalloc.rotating import (
+    FIT_STRATEGIES,
+    ORDERINGS,
+    Allocation,
+    allocate_rotating,
+)
+
+__all__ = [
+    "RegisterAssignment",
+    "allocate_registers",
+    "FIT_STRATEGIES",
+    "ORDERINGS",
+    "Allocation",
+    "allocate_rotating",
+]

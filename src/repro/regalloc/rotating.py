@@ -1,0 +1,201 @@
+"""Rotating-register allocation (the Rau et al. PLDI'92 substrate, §3.2).
+
+In a rotating file of R registers that rotates once per II cycles, give
+each value v a *specifier* ``s_v``; instance k of v then lives in
+physical register ``(s_v - k) mod R`` for ``[start_v + k*II,
+end_v + k*II)``.  Two values collide on some physical register at some
+time iff their arcs
+
+    arc(v) = [start_v - s_v * II,  start_v - s_v * II + lifetime_v)
+
+overlap modulo ``R * II``.  Allocation therefore reduces to packing
+circular arcs of fixed length whose positions slide only in steps of II
+(the phase ``start_v mod II`` is fixed by the schedule) — the "wand"
+model.  MaxLive is an absolute lower bound on R; the paper leans on the
+empirical result that greedy packing almost always achieves MaxLive (or
+overshoots by a register or two), which justifies approximating register
+pressure by MaxLive throughout the evaluation.
+
+Strategies reproduced from that paper:
+
+* fits: ``first_fit`` (smallest specifier shift), ``best_fit``
+  (tightest surviving gap), ``end_fit`` (butt the arc against an
+  existing arc's end);
+* orderings: ``start`` (by definition time), ``length`` (longest
+  lifetime first), ``adjacency`` (start time, chained so values that
+  begin where another ends come next).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bounds.lifetimes import Lifetime, max_live
+
+FIT_STRATEGIES = ("first_fit", "best_fit", "end_fit")
+ORDERINGS = ("start", "length", "adjacency")
+
+
+@dataclasses.dataclass
+class Allocation:
+    """Result of rotating allocation for one register file."""
+
+    registers: int  # file size R actually used
+    ii: int
+    specifiers: Dict[int, int]  # value vid -> specifier s_v
+    max_live: int
+
+    @property
+    def overshoot(self) -> int:
+        """Registers used beyond the MaxLive lower bound."""
+        return self.registers - self.max_live
+
+
+class _CircularOccupancy:
+    """Occupied arcs on a circle of circumference R * II."""
+
+    def __init__(self, circumference: int):
+        self.circumference = circumference
+        self.arcs: List[Tuple[int, int]] = []  # (start, length), start in [0, C)
+
+    def fits(self, start: int, length: int) -> bool:
+        if length > self.circumference:
+            return False
+        start %= self.circumference
+        for other in self.arcs:
+            if _arcs_overlap(self.circumference, start, length, other[0], other[1]):
+                return False
+        return True
+
+    def place(self, start: int, length: int) -> None:
+        self.arcs.append((start % self.circumference, length))
+
+    def ends(self) -> List[int]:
+        return [(start + length) % self.circumference for start, length in self.arcs]
+
+
+def _arcs_overlap(c: int, a_start: int, a_len: int, b_start: int, b_len: int) -> bool:
+    """Do circular arcs [a, a+a_len) and [b, b+b_len) intersect mod c?"""
+    if a_len <= 0 or b_len <= 0:
+        return False
+    delta = (b_start - a_start) % c
+    return delta < a_len or (c - delta) < b_len
+
+
+def allocate_rotating(
+    lifetimes: Sequence[Lifetime],
+    ii: int,
+    fit: str = "end_fit",
+    ordering: str = "adjacency",
+    max_overshoot: int = 64,
+) -> Allocation:
+    """Allocate lifetimes to a rotating file of minimal size.
+
+    Grows R from the MaxLive lower bound until greedy packing succeeds;
+    raises RuntimeError past ``max_overshoot`` extra registers (never
+    observed in practice — the test suite asserts small overshoots).
+    """
+    if fit not in FIT_STRATEGIES:
+        raise ValueError(f"unknown fit {fit!r}; pick from {FIT_STRATEGIES}")
+    if ordering not in ORDERINGS:
+        raise ValueError(f"unknown ordering {ordering!r}; pick from {ORDERINGS}")
+    live = [lt for lt in lifetimes if lt.length > 0]
+    lower_bound = max_live(live, ii)
+    if not live:
+        return Allocation(registers=0, ii=ii, specifiers={}, max_live=0)
+    ordered = _order(live, ordering)
+    floor_r = max(1, lower_bound, *(-(-lt.length // ii) for lt in live))
+    for registers in range(floor_r, floor_r + max_overshoot + 1):
+        specifiers = _try_pack(ordered, ii, registers, fit)
+        if specifiers is not None:
+            return Allocation(
+                registers=registers,
+                ii=ii,
+                specifiers=specifiers,
+                max_live=lower_bound,
+            )
+    raise RuntimeError(
+        f"could not pack {len(live)} lifetimes within MaxLive + {max_overshoot}"
+    )
+
+
+def _order(lifetimes: Sequence[Lifetime], ordering: str) -> List[Lifetime]:
+    if ordering == "start":
+        return sorted(lifetimes, key=lambda lt: (lt.start, -lt.length))
+    if ordering == "length":
+        return sorted(lifetimes, key=lambda lt: (-lt.length, lt.start))
+    # Adjacency: start-time order, but whenever some remaining value
+    # begins exactly where the previously placed one ended, take it next
+    # (it can butt against the same gap).
+    remaining = sorted(lifetimes, key=lambda lt: (lt.start, -lt.length))
+    chained: List[Lifetime] = []
+    while remaining:
+        if chained:
+            previous_end = chained[-1].end
+            adjacent = next((lt for lt in remaining if lt.start == previous_end), None)
+            if adjacent is not None:
+                chained.append(adjacent)
+                remaining.remove(adjacent)
+                continue
+        chained.append(remaining.pop(0))
+    return chained
+
+
+def _try_pack(
+    ordered: Sequence[Lifetime], ii: int, registers: int, fit: str
+) -> Optional[Dict[int, int]]:
+    circumference = registers * ii
+    occupancy = _CircularOccupancy(circumference)
+    specifiers: Dict[int, int] = {}
+    for lifetime in ordered:
+        specifier = _find_slot(occupancy, lifetime, ii, registers, fit)
+        if specifier is None:
+            return None
+        position = (lifetime.start - specifier * ii) % circumference
+        occupancy.place(position, lifetime.length)
+        specifiers[lifetime.value.vid] = specifier
+    return specifiers
+
+
+def _find_slot(
+    occupancy: _CircularOccupancy, lifetime: Lifetime, ii: int, registers: int, fit: str
+) -> Optional[int]:
+    circumference = registers * ii
+    candidates = []
+    for specifier in range(registers):
+        position = (lifetime.start - specifier * ii) % circumference
+        if occupancy.fits(position, lifetime.length):
+            candidates.append((specifier, position))
+    if not candidates:
+        return None
+    if fit == "first_fit":
+        return candidates[0][0]
+    if fit == "end_fit":
+        # Prefer positions butting against an existing arc's end.
+        ends = set(occupancy.ends())
+        for specifier, position in candidates:
+            if position in ends:
+                return specifier
+        return candidates[0][0]
+    # best_fit: choose the position leaving the smallest gap to the next
+    # occupied arc (tightest packing of the leftover hole).
+    best_specifier, best_gap = None, None
+    for specifier, position in candidates:
+        gap = _gap_after(occupancy, position, lifetime.length)
+        if best_gap is None or gap < best_gap:
+            best_specifier, best_gap = specifier, gap
+    return best_specifier
+
+
+def _gap_after(occupancy: _CircularOccupancy, position: int, length: int) -> int:
+    """Distance from the arc's end to the next occupied arc start."""
+    c = occupancy.circumference
+    end = (position + length) % c
+    if not occupancy.arcs:
+        return c - length
+    best = c
+    for other_start, _ in occupancy.arcs:
+        distance = (other_start - end) % c
+        best = min(best, distance)
+    return best

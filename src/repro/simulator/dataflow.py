@@ -1,0 +1,211 @@
+"""Pipelined dataflow executor: runs a modulo schedule against memory.
+
+Every operation instance ``(op, k)`` of the software pipeline issues at
+global cycle ``time(op) + k * II``.  The executor materializes all
+instances for the loop's trip count, sorts them by issue cycle (ties by
+textual order — latencies >= 1 guarantee producers sort before their
+consumers), and executes them against a :class:`MachineState`.
+
+Cross-iteration operands read the producing instance ``(value, k -
+back)``; when that instance precedes the loop (``k - back < 0``), the
+value comes from the operand value's *origin*: the initial scalar
+binding, the initial array contents, or the address-IV formula — exactly
+the live-in values the rotating register file holds at cycle 0 in the
+paper's Figure 3.
+
+This is the semantic half of schedule verification; pair it with
+:func:`repro.core.validate.validate_schedule` (the timing/resource half)
+and a :func:`repro.simulator.sequential.run_sequential` run to prove a
+pipelined loop correct end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.ir.loop import LoopBody
+from repro.ir.operations import Opcode, Operation
+from repro.ir.values import AddressOrigin, ArrayElementOrigin, Operand, ScalarOrigin, Value
+from repro.core.schedule import Schedule
+from repro.simulator.state import MachineState, clamp_element, fdiv, fsqrt
+
+#: Optional hook supplying live-in values for loops built without origins
+#: (hand-written IR in tests): (value, iteration < 0) -> float.
+InitFn = Callable[[Value, int], float]
+
+
+class SimulationError(RuntimeError):
+    """The schedule or loop body is inconsistent with execution."""
+
+
+def run_pipelined(
+    schedule: Schedule,
+    state: MachineState,
+    trip: Optional[int] = None,
+    init_fn: Optional[InitFn] = None,
+) -> MachineState:
+    """Execute ``schedule`` for ``trip`` iterations over ``state``.
+
+    Mutates and returns ``state``; live-out scalars are written back to
+    ``state.scalars`` after the last iteration.
+    """
+    loop = schedule.loop
+    ii = schedule.ii
+    iterations = trip if trip is not None else int(loop.meta.get("trip", 0))
+    if iterations <= 0:
+        raise ValueError("trip count must be positive")
+    initial = state.copy()
+    for name, binding in loop.meta.get("scalars", {}).items():
+        initial.scalars.setdefault(name, binding)
+
+    instances = [
+        (schedule.times[op.oid] + k * ii, op.oid, k)
+        for op in loop.real_ops
+        for k in range(iterations)
+        if op.opcode is not Opcode.BRTOP
+    ]
+    instances.sort()
+
+    computed: Dict[Tuple[int, int], float] = {}
+
+    def operand_value(operand: Operand, k: int):
+        value = operand.value
+        if value.is_constant:
+            return value.literal
+        if value.is_invariant:
+            return _invariant_value(value, initial)
+        producer = k - operand.back
+        if producer < 0:
+            return _live_in_value(value, producer, initial, init_fn)
+        try:
+            return computed[(value.vid, producer)]
+        except KeyError:
+            raise SimulationError(
+                f"{value} consumed in iteration {k} before its instance "
+                f"{producer} was computed — the schedule is broken"
+            ) from None
+
+    for _, oid, k in instances:
+        op = loop.ops[oid]
+        result = execute_op(op, k, operand_value, state)
+        if op.dest is not None:
+            computed[(op.dest.vid, k)] = result
+
+    for name, value in loop.live_out.items():
+        if value.is_variant:
+            state.scalars[name] = computed[(value.vid, iterations - 1)]
+    return state
+
+
+def _invariant_value(value: Value, initial: MachineState):
+    name = value.name
+    if name.startswith("&"):
+        return 0.0  # array base addresses are modeled in element units
+    try:
+        return initial.scalars[name]
+    except KeyError:
+        raise SimulationError(f"invariant {name!r} has no initial binding") from None
+
+
+def _live_in_value(
+    value: Value, iteration: int, initial: MachineState, init_fn: Optional[InitFn]
+):
+    """Value of a pre-loop instance (iteration < 0), from the origin."""
+    origin = value.origin
+    if isinstance(origin, ScalarOrigin):
+        return initial.scalars[origin.name]
+    if isinstance(origin, ArrayElementOrigin):
+        cells = initial.arrays[origin.array]
+        element = origin.element(iteration)
+        if 0 <= element < len(cells):
+            return cells[element]
+        return 0.0
+    if isinstance(origin, AddressOrigin):
+        return float(origin.at(iteration))
+    if init_fn is not None:
+        return init_fn(value, iteration)
+    raise SimulationError(
+        f"{value} is read {-iteration} iteration(s) before the loop but has "
+        "no origin and no init_fn was supplied"
+    )
+
+
+def execute_op(op: Operation, k: int, operand_value, state: MachineState):
+    """Execute one operation instance against ``state``.
+
+    ``operand_value(operand, k)`` supplies input values — the dataflow
+    executor resolves them through the instance table, the register-level
+    VLIW simulator through the rotating register files.  Returns the
+    result value (None for stores).
+    """
+    opcode = op.opcode
+
+    def arg(position: int):
+        return operand_value(op.operands[position], k)
+
+    def predicate_true() -> bool:
+        if op.predicate is None:
+            return True
+        return bool(operand_value(op.predicate, k))
+
+    if opcode in (Opcode.ADDR_ADD, Opcode.ADD_I, Opcode.ADD_F):
+        return arg(0) + arg(1)
+    if opcode in (Opcode.ADDR_SUB, Opcode.SUB_I, Opcode.SUB_F):
+        return arg(0) - arg(1)
+    if opcode in (Opcode.ADDR_MUL, Opcode.MUL_I, Opcode.MUL_F):
+        return arg(0) * arg(1)
+    if opcode in (Opcode.DIV_I, Opcode.DIV_F):
+        return fdiv(arg(0), arg(1))
+    if opcode is Opcode.MOD_I:
+        divisor = arg(1)
+        return arg(0) % divisor if divisor else 0.0
+    if opcode is Opcode.SQRT_F:
+        return fsqrt(arg(0))
+    if opcode is Opcode.ABS_F:
+        return abs(arg(0))
+    if opcode is Opcode.NEG_F:
+        return -arg(0)
+    if opcode is Opcode.MIN_F:
+        return min(arg(0), arg(1))
+    if opcode is Opcode.MAX_F:
+        return max(arg(0), arg(1))
+    if opcode is Opcode.SELECT:
+        return arg(1) if arg(0) else arg(2)
+    if opcode is Opcode.CMP_LT:
+        return arg(0) < arg(1)
+    if opcode is Opcode.CMP_LE:
+        return arg(0) <= arg(1)
+    if opcode is Opcode.CMP_GT:
+        return arg(0) > arg(1)
+    if opcode is Opcode.CMP_GE:
+        return arg(0) >= arg(1)
+    if opcode is Opcode.CMP_EQ:
+        return arg(0) == arg(1)
+    if opcode is Opcode.CMP_NE:
+        return arg(0) != arg(1)
+    if opcode is Opcode.NOT_B:
+        return not arg(0)
+    if opcode is Opcode.AND_B:
+        return bool(arg(0)) and bool(arg(1))
+    if opcode is Opcode.OR_B:
+        return bool(arg(0)) or bool(arg(1))
+    if opcode is Opcode.XOR_B:
+        return bool(arg(0)) != bool(arg(1))
+    if opcode is Opcode.LOAD:
+        cells = state.arrays[op.attrs["array"]]
+        return cells[_element_index(op, k, arg, cells)]
+    if opcode is Opcode.STORE:
+        if predicate_true():
+            cells = state.arrays[op.attrs["array"]]
+            cells[_element_index(op, k, arg, cells)] = arg(1)
+        return None
+    raise SimulationError(f"cannot execute opcode {opcode}")
+
+
+def _element_index(op: Operation, k: int, arg, cells) -> int:
+    if op.attrs.get("gather") or "abs" not in op.attrs:
+        # Indirect access (or hand-built IR without affine attributes):
+        # the address operand *is* the element index, clamped exactly
+        # like the sequential interpreter clamps it.
+        return clamp_element(cells, arg(0))
+    return int(op.attrs["abs"]) + int(op.attrs["stride"]) * k

@@ -1,0 +1,126 @@
+"""Sequential reference interpreter for DoLoop programs.
+
+Executes the source AST iteration by iteration, exactly as the original
+(unpipelined) FORTRAN loop would.  This is the semantic ground truth the
+pipelined executors are checked against: a schedule is correct iff
+running it leaves memory and live-out scalars identical to this
+interpreter's results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    DoLoop,
+    ExitIf,
+    Expr,
+    Gather,
+    If,
+    Index,
+    Scalar,
+    Scatter,
+    Unary,
+)
+from repro.simulator.state import MachineState, clamp_element, fdiv, fsqrt, initial_state
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": fdiv,
+    "min": min,
+    "max": max,
+}
+_COMPARES = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+_UNARIES = {"neg": lambda a: -a, "abs": abs, "sqrt": fsqrt}
+
+
+class _EarlyExit(Exception):
+    """Raised by an ExitIf statement whose condition fired."""
+
+
+def run_sequential(
+    program: DoLoop,
+    state: Optional[MachineState] = None,
+    trip: Optional[int] = None,
+    seed: int = 0,
+) -> MachineState:
+    """Execute the loop sequentially; returns the final machine state."""
+    if state is None:
+        state = initial_state(program, seed=seed)
+    iterations = program.trip if trip is None else trip
+    for k in range(iterations):
+        index = program.start + k
+        try:
+            _run_statements(program.body, program, state, index)
+        except _EarlyExit:
+            break
+    return state
+
+
+def _run_statements(stmts, program: DoLoop, state: MachineState, index: int) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            value = _eval(stmt.expr, program, state, index)
+            target = stmt.target
+            if isinstance(target, Scalar):
+                state.scalars[target.name] = value
+            elif isinstance(target, ArrayRef):
+                cells = state.arrays[target.array]
+                cells[target.stride * index + target.offset] = value
+            elif isinstance(target, Scatter):
+                cells = state.arrays[target.array]
+                position = clamp_element(cells, _eval(target.index, program, state, index))
+                cells[position] = value
+            else:
+                raise TypeError(f"cannot assign to {target!r}")
+        elif isinstance(stmt, If):
+            taken = _eval(stmt.cond, program, state, index)
+            branch = stmt.then if taken else stmt.orelse
+            _run_statements(branch, program, state, index)
+        elif isinstance(stmt, ExitIf):
+            if _eval(stmt.cond, program, state, index):
+                raise _EarlyExit
+        else:
+            raise TypeError(f"cannot execute {stmt!r}")
+
+
+def _eval(expr: Expr, program: DoLoop, state: MachineState, index: int):
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Scalar):
+        try:
+            return state.scalars[expr.name]
+        except KeyError:
+            raise KeyError(f"scalar {expr.name!r} has no value") from None
+    if isinstance(expr, Index):
+        return float(index)
+    if isinstance(expr, ArrayRef):
+        return state.arrays[expr.array][expr.stride * index + expr.offset]
+    if isinstance(expr, Gather):
+        cells = state.arrays[expr.array]
+        return cells[clamp_element(cells, _eval(expr.index, program, state, index))]
+    if isinstance(expr, BinOp):
+        left = _eval(expr.left, program, state, index)
+        right = _eval(expr.right, program, state, index)
+        return _BINOPS[expr.op](left, right)
+    if isinstance(expr, Unary):
+        return _UNARIES[expr.op](_eval(expr.operand, program, state, index))
+    if isinstance(expr, Compare):
+        left = _eval(expr.left, program, state, index)
+        right = _eval(expr.right, program, state, index)
+        return _COMPARES[expr.op](left, right)
+    raise TypeError(f"cannot evaluate {expr!r}")

@@ -1,0 +1,260 @@
+"""Register-level VLIW simulator: executes kernel-only code.
+
+This is the deepest validation layer: it runs the *generated kernel*
+(one copy, II rows) against real rotating register files, modeling
+
+* rotation: the file rotates once per kernel iteration, so a value
+  written through specifier ``s`` is read ``b`` iterations and
+  ``delta-stage`` rows later through ``s + stage_delta + b`` — the
+  encoding baked in by :mod:`repro.codegen.kernel`;
+* staging: an operation at stage sigma executes in kernel iteration m
+  for loop iteration ``k = m - sigma`` and is squashed unless
+  ``0 <= k < trip`` (the staging-predicate schema of kernel-only code:
+  the pipeline fills for the first ``stages-1`` kernel iterations and
+  drains for the last);
+* write latency: results commit to their physical register
+  ``latency`` cycles after issue, and commits are applied before the
+  reads of the cycle they land on;
+* live-in values: loop-carried uses whose producing iteration precedes
+  the loop are preloaded into the exact physical registers the rotation
+  will expose to their consumers (the paper's Figure 3 shows the same
+  preloaded live-ins at cycle 0).
+
+Running the kernel and comparing memory plus live-out scalars against
+the sequential interpreter validates scheduling, register allocation
+and code generation together.  (Affine load/store addresses are
+computed from the access attributes; indirect accesses go through the
+address registers.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.kernel import KernelCode, KernelOp, KernelOperand
+from repro.ir.operations import Opcode
+from repro.simulator.dataflow import InitFn, SimulationError, _invariant_value, _live_in_value, execute_op
+from repro.machine.registers import RotatingFile, StaticFile
+from repro.simulator.state import MachineState
+
+
+class _RegisterFiles:
+    """The machine's three register files for one simulation run.
+
+    Uses the real :class:`~repro.machine.registers.RotatingFile`
+    substrate: the ICP starts at 0 and decrements once per kernel
+    iteration (brtop), so reading encoded specifier ``s`` during kernel
+    iteration m resolves to physical ``(s - m) mod size`` — the map the
+    code generator encoded against.
+    """
+
+    def __init__(self, kernel: KernelCode):
+        self.rr = RotatingFile("RR", max(1, kernel.assignment.rr_registers))
+        self.icr = RotatingFile("ICR", max(1, kernel.assignment.icr_registers))
+        self.gpr = StaticFile("GPR", max(1, kernel.assignment.gpr_registers))
+
+    def file_and_size(self, kind: str):
+        if kind == "rr":
+            return self.rr, self.rr.size
+        if kind == "icr":
+            return self.icr, self.icr.size
+        if kind == "gpr":
+            return self.gpr, self.gpr.size
+        raise SimulationError(f"no register file {kind!r}")
+
+    def rotate(self) -> None:
+        """End-of-kernel-iteration rotation (brtop's ICP decrement)."""
+        self.rr.rotate()
+        self.icr.rotate()
+
+    def read(self, operand: KernelOperand, m: int):
+        if operand.kind == "imm":
+            return operand.literal
+        register_file, size = self.file_and_size(operand.kind)
+        if operand.kind == "gpr":
+            return register_file.read(operand.spec % size)
+        # The file has rotated m times: ICP == -m mod size, so reading
+        # through the rotating map equals physical (spec - m) mod size.
+        return register_file.read(operand.spec)
+
+    def write(self, kind: str, physical: int, value) -> None:
+        register_file, size = self.file_and_size(kind)
+        if kind == "gpr":
+            register_file.write(physical % size, value)
+        else:
+            register_file.write_physical(physical, value)
+
+
+def run_vliw(
+    kernel: KernelCode,
+    state: MachineState,
+    trip: Optional[int] = None,
+    init_fn: Optional[InitFn] = None,
+) -> MachineState:
+    """Execute kernel-only code for ``trip`` iterations over ``state``."""
+    loop = kernel.loop
+    machine = kernel.schedule.machine
+    ii, stages = kernel.ii, kernel.stages
+    iterations = trip if trip is not None else int(loop.meta.get("trip", 0))
+    if iterations <= 0:
+        raise ValueError("trip count must be positive")
+
+    initial = state.copy()
+    for name, binding in loop.meta.get("scalars", {}).items():
+        initial.scalars.setdefault(name, binding)
+    files = _RegisterFiles(kernel)
+    _preload_gprs(kernel, files, initial)
+    _preload_live_ins(kernel, files, initial, init_fn)
+
+    # Pending register writes: (commit_cycle, sequence, kind, physical, value).
+    pending: List[Tuple[int, int, str, int, object]] = []
+    sequence = 0
+    live_out_values: Dict[str, object] = {}
+    live_out_vids = {value.vid: name for name, value in loop.live_out.items()}
+    loop_control = _LoopControl(stages, iterations)
+
+    running = True
+    m = 0
+    while running:
+        for row_index in range(ii):
+            cycle = m * ii + row_index
+            pending.sort()
+            while pending and pending[0][0] <= cycle:
+                _, __, kind, physical, value = pending.pop(0)
+                files.write(kind, physical, value)
+            for kop in kernel.rows[row_index]:
+                if kop.op.opcode is Opcode.BRTOP:
+                    continue  # handled once per kernel iteration below
+                if not loop_control.stage_active(kop.stage, m):
+                    continue  # stage predicate (rotating ICR bit) squashes
+                k = m - kop.stage
+                if not (0 <= k < iterations):  # hardware/bookkeeping cross-check
+                    raise SimulationError(
+                        f"stage predicate enabled {kop.op!r} for iteration {k} "
+                        f"outside [0, {iterations}) — brtop loop control is broken"
+                    )
+                result = _issue(kop, k, m, files, state)
+                if kop.dest is not None:
+                    physical = (kop.dest.spec - m) % files.file_and_size(kop.dest.kind)[1]
+                    commit = cycle + machine.latency(kop.op)
+                    pending.append((commit, sequence, kop.dest.kind, physical, result))
+                    sequence += 1
+                    if kop.op.dest.vid in live_out_vids and k == iterations - 1:
+                        live_out_values[live_out_vids[kop.op.dest.vid]] = result
+        running = loop_control.brtop(m)
+        files.rotate()  # brtop decrements the ICP once per kernel iteration
+        m += 1
+        if m > iterations + stages + 2:
+            raise SimulationError("brtop failed to terminate the pipeline")
+
+    for name, value in live_out_values.items():
+        state.scalars[name] = value
+    return state
+
+
+class _LoopControl:
+    """Cydra-style `brtop` loop management (§2.1).
+
+    Hardware state: the loop counter LC (remaining new iterations), the
+    epilogue stage counter ESC (kernel iterations needed to drain the
+    pipeline), and a small rotating file of *staging predicates*.  Once
+    per kernel iteration, brtop either starts a new source iteration
+    (LC > 0: write True into next iteration's stage-0 predicate) or
+    begins draining (write False); the file rotates with the ICP, so
+    the bit written for iteration k is read by its stage-sigma ops as
+    specifier sigma, sigma kernel iterations later — which is exactly
+    how kernel-only code squashes the pipeline fill and drain without
+    prologue or epilogue copies.
+    """
+
+    def __init__(self, stages: int, trip: int):
+        self.size = stages + 1
+        self.bits = [False] * self.size
+        self.bits[0] = True  # iteration 0's stage-0 predicate, preset
+        self.lc = trip - 1
+        self.esc = stages - 1
+
+    def stage_active(self, stage: int, m: int) -> bool:
+        return self.bits[(stage - m) % self.size]
+
+    def brtop(self, m: int) -> bool:
+        """One brtop execution at kernel iteration m.
+
+        Returns False when the pipeline has fully drained.
+        """
+        if self.lc > 0:
+            self.lc -= 1
+            start_next = True
+        elif self.esc > 0:
+            self.esc -= 1
+            start_next = False
+        else:
+            return False
+        # Write iteration (m+1)'s stage-0 predicate: physical slot
+        # (0 - (m+1)) mod size under the rotating map.
+        self.bits[(0 - (m + 1)) % self.size] = start_next
+        return True
+
+
+def _issue(kop: KernelOp, k: int, m: int, files: _RegisterFiles, state: MachineState):
+    op = kop.op
+    by_position = {id(ir): enc for ir, enc in zip(op.operands, kop.operands)}
+    if op.predicate is not None and kop.predicate is not None:
+        by_position[id(op.predicate)] = kop.predicate
+
+    def operand_value(ir_operand, _k):
+        encoded = by_position.get(id(ir_operand))
+        if encoded is None:
+            raise SimulationError(f"operand {ir_operand!r} of {op!r} not encoded")
+        value = files.read(encoded, m)
+        if value is None and encoded.kind != "imm":
+            raise SimulationError(
+                f"{op!r} iteration {k}: read of {encoded.render()} "
+                f"(physical {(encoded.spec - m) % files.file_and_size(encoded.kind)[1]}) "
+                "returned an unwritten register — allocation or codegen is broken"
+            )
+        return value
+
+    return execute_op(op, k, operand_value, state)
+
+
+def _preload_gprs(kernel: KernelCode, files: _RegisterFiles, initial: MachineState) -> None:
+    for value in kernel.loop.values:
+        if value.is_invariant:
+            index = kernel.assignment.gpr[value.vid]
+            files.write("gpr", index, _invariant_value(value, initial))
+
+
+def _preload_live_ins(
+    kernel: KernelCode,
+    files: _RegisterFiles,
+    initial: MachineState,
+    init_fn: Optional[InitFn],
+) -> None:
+    """Seed pre-loop value instances into their physical registers.
+
+    Instance (v, j) for j < 0 lives in physical ``(s_phys(v) - j) mod R``
+    where ``s_phys`` is the negated allocator specifier — the same map
+    the kernel's encoded specifiers resolve through.
+    """
+    loop = kernel.loop
+    max_back: Dict[int, int] = {}
+    for op in loop.ops:
+        for operand in op.inputs():
+            if operand.back > 0 and operand.value.is_variant:
+                vid = operand.value.vid
+                max_back[vid] = max(max_back.get(vid, 0), operand.back)
+    values_by_vid = {value.vid: value for value in loop.values}
+    for vid, depth in max_back.items():
+        value = values_by_vid[vid]
+        kind = "icr" if value.dtype.is_predicate else "rr"
+        table = (
+            kernel.assignment.icr.specifiers
+            if kind == "icr"
+            else kernel.assignment.rr.specifiers
+        )
+        specifier = -table[vid]
+        _, size = files.file_and_size(kind)
+        for j in range(-depth, 0):
+            physical = (specifier - j) % size
+            files.write(kind, physical, _live_in_value(value, j, initial, init_fn))

@@ -1,0 +1,27 @@
+"""Workloads: Livermore/SPEC-style kernels and the generated corpus."""
+
+from repro.workloads.corpus import (
+    PAPER_CORPUS_SIZE,
+    TABLE3_CLASS_COUNTS,
+    default_corpus_size,
+    named_kernels,
+    paper_corpus,
+)
+from repro.workloads.extra import extra_kernels
+from repro.workloads.generator import CLASSES, LoopGenerator, generate_corpus_slice
+from repro.workloads.livermore import livermore_kernels
+from repro.workloads.spec import spec_kernels
+
+__all__ = [
+    "PAPER_CORPUS_SIZE",
+    "TABLE3_CLASS_COUNTS",
+    "default_corpus_size",
+    "named_kernels",
+    "paper_corpus",
+    "extra_kernels",
+    "CLASSES",
+    "LoopGenerator",
+    "generate_corpus_slice",
+    "livermore_kernels",
+    "spec_kernels",
+]

@@ -1,0 +1,74 @@
+"""Corpus assembly: the 1,525-loop workload of the paper's §6.
+
+The corpus mixes the hand-written Livermore/SPEC-style kernels with
+generated loops, steering the class mix to Table 3's observed
+proportions:
+
+    Has Conditional (only)   166 / 1525  (10.9%)
+    Has Recurrence (only)    343 / 1525  (22.5%)
+    Has Both                  85 / 1525  ( 5.6%)
+    Has Neither              931 / 1525  (61.0%)
+
+``paper_corpus()`` returns the full 1,525 loops; pass a smaller ``n``
+for quick runs (benchmarks default to a few hundred and scale up via
+the REPRO_CORPUS env var).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.frontend.ast import DoLoop
+from repro.workloads.extra import extra_kernels
+from repro.workloads.generator import generate_corpus_slice
+from repro.workloads.livermore import livermore_kernels
+from repro.workloads.spec import spec_kernels
+
+#: Table 3 class counts for the full 1,525-loop corpus.
+TABLE3_CLASS_COUNTS = {
+    "conditional": 166,
+    "recurrence": 343,
+    "both": 85,
+    "neither": 931,
+}
+
+PAPER_CORPUS_SIZE = 1525
+
+
+def named_kernels() -> List[DoLoop]:
+    """The hand-written kernels (Livermore + SPEC-style + extras)."""
+    return livermore_kernels() + spec_kernels() + extra_kernels()
+
+
+def paper_corpus(n: int = PAPER_CORPUS_SIZE, seed: int = 1993) -> List[DoLoop]:
+    """Build an ``n``-loop corpus with the paper's class proportions."""
+    if n < 1:
+        raise ValueError("corpus size must be positive")
+    kernels = named_kernels()[:n]
+    remaining = n - len(kernels)
+    if remaining <= 0:
+        return kernels
+    loops = list(kernels)
+    total = sum(TABLE3_CLASS_COUNTS.values())
+    produced = 0
+    classes = list(TABLE3_CLASS_COUNTS.items())
+    for position, (klass, count) in enumerate(classes):
+        if position == len(classes) - 1:
+            quota = remaining - produced
+        else:
+            quota = round(remaining * count / total)
+        quota = max(0, min(quota, remaining - produced))
+        loops.extend(
+            generate_corpus_slice(seed + position, quota, klass)
+        )
+        produced += quota
+    return loops
+
+
+def default_corpus_size(fallback: int = 300) -> int:
+    """Benchmark corpus size: REPRO_CORPUS env var or the fallback."""
+    raw = os.environ.get("REPRO_CORPUS", "")
+    if raw.strip():
+        return max(1, int(raw))
+    return fallback

@@ -1,0 +1,233 @@
+"""Additional numeric kernels rounding out the corpus.
+
+Idioms common in the scientific codes the paper's suites drew from but
+not already covered by the Livermore/SPEC sets: IIR filtering
+(multi-term recurrences), convolution windows, Newton iteration
+(divider-heavy recurrences), max-plus dynamic programming, leapfrog
+integration, and gather-driven table interpolation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    Const,
+    DoLoop,
+    Gather,
+    If,
+    Index,
+    Scalar,
+    Unary,
+)
+
+
+def _a(name, offset=0, stride=1):
+    return ArrayRef(name, offset, stride)
+
+
+def _max(left, right):
+    from repro.frontend.ast import BinOp
+
+    return BinOp("max", left, right)
+
+
+def axpby() -> DoLoop:
+    """BLAS-1 axpby: y = a*x + b*y."""
+    body = [Assign(_a("y"), Scalar("a") * _a("x") + Scalar("b") * _a("y"))]
+    return DoLoop("extra_axpby", body, arrays={"x": 64, "y": 64},
+                  scalars={"a": 1.2, "b": 0.8}, trip=40)
+
+
+def iir_biquad() -> DoLoop:
+    """Direct-form IIR biquad: a two-deep output recurrence."""
+    body = [
+        Assign(
+            _a("y"),
+            Scalar("b0") * _a("x")
+            + Scalar("b1") * _a("x", -1)
+            + Scalar("b2") * _a("x", -2)
+            - Scalar("a1") * _a("y", -1)
+            - Scalar("a2") * _a("y", -2),
+        )
+    ]
+    return DoLoop(
+        "extra_biquad", body,
+        arrays={"x": 64, "y": 64},
+        scalars={"b0": 0.2, "b1": 0.3, "b2": 0.1, "a1": 0.4, "a2": 0.1},
+        trip=40,
+    )
+
+
+def convolution5() -> DoLoop:
+    """5-tap convolution with invariant taps."""
+    taps = Scalar("k0") * _a("x", -2)
+    for j, name in enumerate(["k1", "k2", "k3", "k4"], start=-1):
+        taps = taps + Scalar(name) * _a("x", j)
+    body = [Assign(_a("y"), taps)]
+    return DoLoop(
+        "extra_conv5", body,
+        arrays={"x": 96, "y": 64},
+        scalars={"k0": 0.1, "k1": 0.2, "k2": 0.4, "k3": 0.2, "k4": 0.1},
+        trip=40,
+    )
+
+
+def newton_reciprocal() -> DoLoop:
+    """Newton-Raphson reciprocal refinement per element (divider-free
+    refinement of a divider-seeded estimate)."""
+    body = [
+        Assign(Scalar("r"), Const(1.0) / _a("d")),
+        Assign(_a("out"), Scalar("r") * (Const(2.0) - _a("d") * Scalar("r"))),
+    ]
+    return DoLoop(
+        "extra_newton", body,
+        arrays={"d": 64, "out": 64},
+        scalars={"r": 1.0},
+        trip=30,
+    )
+
+
+def maxplus_dp() -> DoLoop:
+    """Max-plus dynamic programming step (Viterbi-style recurrence)."""
+    body = [
+        Assign(
+            _a("score"),
+            _max(
+                _a("score", -1) + _a("stay"),
+                _a("score", -2) + _a("jump"),
+            ),
+        )
+    ]
+    return DoLoop(
+        "extra_maxplus", body,
+        arrays={"score": 64, "stay": 64, "jump": 64},
+        trip=40,
+    )
+
+
+def leapfrog() -> DoLoop:
+    """Leapfrog integrator: coupled position/velocity streams."""
+    body = [
+        Assign(_a("v"), _a("v") + Scalar("dt") * _a("f")),
+        Assign(_a("p"), _a("p") + Scalar("dt") * _a("v")),
+    ]
+    return DoLoop(
+        "extra_leapfrog", body,
+        arrays={"v": 64, "p": 64, "f": 64},
+        scalars={"dt": 0.05},
+        trip=40,
+    )
+
+
+def table_interpolate() -> DoLoop:
+    """Gather-driven linear interpolation from a lookup table."""
+    body = [
+        Assign(Scalar("lo"), Gather("table", Index())),
+        Assign(Scalar("hi"), Gather("table", Index() + 1.0)),
+        Assign(_a("out"), Scalar("lo") + (_a("frac")) * (Scalar("hi") - Scalar("lo"))),
+    ]
+    return DoLoop(
+        "extra_interp", body,
+        arrays={"table": 96, "frac": 64, "out": 64},
+        scalars={"lo": 0.0, "hi": 0.0},
+        trip=40,
+    )
+
+
+def rms_normalize() -> DoLoop:
+    """Running RMS scaling: sqrt + divide against an accumulator."""
+    body = [
+        Assign(Scalar("acc"), Scalar("acc") * Const(0.95) + _a("x") * _a("x")),
+        Assign(_a("y"), _a("x") / (Unary("sqrt", Scalar("acc")) + Const(0.5))),
+    ]
+    return DoLoop(
+        "extra_rms", body,
+        arrays={"x": 64, "y": 64},
+        scalars={"acc": 1.0},
+        live_out=["acc"],
+        trip=30,
+    )
+
+
+def clip_and_count() -> DoLoop:
+    """Saturating clip with a taken-branch counter."""
+    body = [
+        If(
+            _a("x") > Scalar("limit"),
+            then=[
+                Assign(_a("y"), Scalar("limit")),
+                Assign(Scalar("clipped"), Scalar("clipped") + 1.0),
+            ],
+            orelse=[Assign(_a("y"), _a("x"))],
+        )
+    ]
+    return DoLoop(
+        "extra_clip", body,
+        arrays={"x": 64, "y": 64},
+        scalars={"limit": 1.2, "clipped": 0.0},
+        live_out=["clipped"],
+        trip=40,
+    )
+
+
+def moving_max3() -> DoLoop:
+    """Sliding-window maximum over three samples (load reuse)."""
+    body = [
+        Assign(
+            _a("y"),
+            _max(_max(_a("x", -1), _a("x")), _a("x", 1)),
+        )
+    ]
+    return DoLoop("extra_movmax", body, arrays={"x": 80, "y": 64}, trip=40)
+
+
+def pivot_search_exit() -> DoLoop:
+    """Early-exit pivot search: stop at the first adequate element."""
+    from repro.frontend.ast import ExitIf
+
+    body = [
+        Assign(Scalar("best"), _max(Scalar("best"), _a("x"))),
+        ExitIf(Scalar("best") > Scalar("good_enough")),
+    ]
+    return DoLoop(
+        "extra_pivot", body,
+        arrays={"x": 64},
+        scalars={"best": 0.0, "good_enough": 1.45},
+        live_out=["best"],
+        trip=40,
+    )
+
+
+def complex_magnitude() -> DoLoop:
+    """|z| over interleaved re/im pairs (stride-2 reads)."""
+    body = [
+        Assign(
+            _a("mag"),
+            Unary(
+                "sqrt",
+                _a("z", 0, 2) * _a("z", 0, 2) + _a("z", 1, 2) * _a("z", 1, 2),
+            ),
+        )
+    ]
+    return DoLoop("extra_cmag", body, arrays={"z": 160, "mag": 64}, trip=30)
+
+
+def extra_kernels() -> List[DoLoop]:
+    """All extra kernels in a stable order."""
+    return [
+        axpby(),
+        iir_biquad(),
+        convolution5(),
+        newton_reciprocal(),
+        maxplus_dp(),
+        leapfrog(),
+        table_interpolate(),
+        rms_normalize(),
+        clip_and_count(),
+        moving_max3(),
+        pivot_search_exit(),
+        complex_magnitude(),
+    ]

@@ -1,0 +1,229 @@
+"""Seeded random DO-loop generator.
+
+The paper's corpus is 1,525 FORTRAN DO loops from Livermore, SPEC89 and
+the Perfect Club.  Those sources are unavailable here, so the corpus is
+completed with randomly generated loops whose *statistics* are
+calibrated to Table 2 (operation counts: median ~13, 90th percentile
+~33, a long tail; divider ops in <10% of loops) and whose class mix
+(conditional / recurrence / both / neither) is steered to Table 3's
+proportions by :mod:`repro.workloads.corpus`.
+
+Generation is fully deterministic given the seed.  Every generated loop
+is a legal DoLoop program: subscripts stay in bounds, denominators are
+bounded away from zero, and at least one store or live-out scalar keeps
+the body alive through dead-code elimination.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    DoLoop,
+    Expr,
+    Gather,
+    If,
+    Index,
+    Scalar,
+    Unary,
+)
+
+#: Loop classes the generator can aim for (Table 3's rows).
+CLASSES = ("neither", "conditional", "recurrence", "both")
+
+_ARRAY_POOL = ["aa", "bb", "cc", "dd", "ee", "ff", "gg", "hh"]
+_INVARIANT_POOL = ["r", "t", "q", "u"]
+
+
+class LoopGenerator:
+    """Deterministic random generator of DoLoop programs."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, name: str, klass: str = "neither") -> DoLoop:
+        """Generate one loop aiming for the given Table 3 class."""
+        if klass not in CLASSES:
+            raise ValueError(f"unknown class {klass!r}; pick from {CLASSES}")
+        rng = self.rng
+        n_stmts = self._draw_size()
+        n_arrays = min(len(_ARRAY_POOL), max(2, rng.randint(2, min(6, 2 + n_stmts))))
+        arrays = _ARRAY_POOL[:n_arrays]
+        want_recurrence = klass in ("recurrence", "both")
+        want_conditional = klass in ("conditional", "both")
+        if want_recurrence:
+            # Recurrence loops may read what they write (that is the point).
+            self._sources = list(arrays)
+            self._dests = list(arrays)
+        else:
+            # Partition reads from writes so no accidental memory
+            # recurrence sneaks into a "neither"/"conditional" loop.
+            half = max(1, n_arrays // 2)
+            self._dests = arrays[:half]
+            self._sources = arrays[half:] or arrays[:1]
+        rng.shuffle(self._dests)
+        self._scalars = {}
+        self._live_out: List[str] = []
+        self._next_scalar = 0
+        self._used_dests: List[str] = []
+        self._allow_div = rng.random() < 0.08
+        self._allow_gather = rng.random() < 0.05
+
+        stmts: List = []
+        if want_recurrence:
+            stmts.append(self._recurrence_stmt())
+            n_stmts -= 1
+        for _ in range(max(0, n_stmts)):
+            stmts.append(self._plain_stmt(allow_recurrence=want_recurrence))
+        if want_conditional:
+            stmts.append(self._conditional_stmt())
+        if not stmts:
+            stmts.append(self._plain_stmt(allow_recurrence=False))
+
+        return DoLoop(
+            name=name,
+            body=stmts,
+            arrays={a: 220 for a in arrays},
+            scalars=dict(self._scalars),
+            start=4,
+            trip=24,
+            live_out=list(self._live_out),
+        )
+
+    # ------------------------------------------------------------------
+    def _draw_size(self) -> int:
+        """Statement count, long-tailed like Table 2's op counts."""
+        roll = self.rng.random()
+        if roll < 0.45:
+            return self.rng.randint(1, 2)
+        if roll < 0.72:
+            return 3
+        if roll < 0.92:
+            return self.rng.randint(4, 6)
+        if roll < 0.985:
+            return self.rng.randint(7, 12)
+        return self.rng.randint(13, 30)
+
+    def _fresh_scalar(self, init: float) -> str:
+        name = f"s{self._next_scalar}"
+        self._next_scalar += 1
+        self._scalars[name] = init
+        return name
+
+    def _invariant(self) -> Scalar:
+        name = self.rng.choice(_INVARIANT_POOL)
+        self._scalars.setdefault(name, round(0.6 + 0.9 * self.rng.random(), 3))
+        return Scalar(name)
+
+    def _pick_dest(self) -> str:
+        """A store target not yet used (keeps one store per array)."""
+        for candidate in self._dests:
+            if candidate not in self._used_dests:
+                self._used_dests.append(candidate)
+                return candidate
+        return self.rng.choice(self._dests)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _leaf(self) -> Expr:
+        roll = self.rng.random()
+        if roll < 0.62:
+            array = self.rng.choice(self._sources)
+            offset = self.rng.choice([-2, -1, 0, 0, 0, 1, 2])
+            return ArrayRef(array, offset)
+        if roll < 0.82:
+            return self._invariant()
+        if roll < 0.95:
+            return Const(round(0.5 + self.rng.random(), 3))
+        if self._allow_gather:
+            return Gather(self.rng.choice(self._sources), Index())
+        return Index() * Const(0.01)
+
+    def _expr(self, depth: int) -> Expr:
+        if depth <= 0:
+            return self._leaf()
+        roll = self.rng.random()
+        if roll < 0.06:
+            return Unary("abs", self._expr(depth - 1))
+        if roll < 0.10 and self._allow_div:
+            return Unary("sqrt", self._expr(depth - 1))
+        if roll < 0.16 and self._allow_div:
+            # Bounded-away-from-zero denominator keeps simulations finite.
+            return BinOp("/", self._expr(depth - 1), self._leaf() + 2.0)
+        op = self.rng.choice(["+", "+", "-", "*", "*", "min", "max"])
+        return BinOp(op, self._expr(depth - 1), self._expr(depth - 1))
+
+    def _depth(self) -> int:
+        return self.rng.choice([1, 1, 1, 2, 2, 2, 3])
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _plain_stmt(self, allow_recurrence: bool):
+        roll = self.rng.random()
+        if roll < 0.62:
+            dest = self._pick_dest()
+            return Assign(ArrayRef(dest), self._expr(self._depth()))
+        if roll < 0.88:
+            name = self._fresh_scalar(0.0)
+            self._live_out.append(name)
+            return Assign(Scalar(name), Scalar(name) + self._expr(self._depth()))
+        if allow_recurrence:
+            return self._recurrence_stmt()
+        dest = self._pick_dest()
+        return Assign(ArrayRef(dest), self._expr(self._depth()))
+
+    def _recurrence_stmt(self):
+        """A statement creating a non-trivial recurrence circuit."""
+        if self.rng.random() < 0.5:
+            # Memory recurrence: dst(i) = expr + dst(i - d) * c
+            dest = self._pick_dest()
+            distance = self.rng.choice([1, 1, 2, 3])
+            carried = ArrayRef(dest, -distance) * Const(round(0.4 + 0.4 * self.rng.random(), 3))
+            return Assign(ArrayRef(dest), self._expr(self._depth() - 1) + carried)
+        # Scalar recurrence with a multiply in the cycle: s = s*c + expr
+        name = self._fresh_scalar(0.5)
+        self._live_out.append(name)
+        decay = Const(round(0.5 + 0.4 * self.rng.random(), 3))
+        return Assign(Scalar(name), Scalar(name) * decay + self._expr(self._depth() - 1))
+
+    def _conditional_stmt(self) -> If:
+        """A data-dependent conditional over array stores.
+
+        Arms only store to arrays (distinct elements per arm), so the
+        conditional does not by itself manufacture a recurrence circuit —
+        whether the loop also "has recurrence" stays controlled by the
+        recurrence statements.
+        """
+        rng = self.rng
+        condition = Compare(
+            rng.choice(["<", "<=", ">", ">="]),
+            ArrayRef(rng.choice(self._sources), 0),
+            Const(round(0.8 + 0.4 * rng.random(), 3)),
+        )
+        dest = self._pick_dest()
+        then_part = [Assign(ArrayRef(dest), self._expr(self._depth()))]
+        if rng.random() < 0.6:
+            else_part = [Assign(ArrayRef(dest), self._expr(self._depth() - 1))]
+        else:
+            else_part = []
+        return If(condition, then=then_part, orelse=else_part)
+
+
+def generate_corpus_slice(
+    seed: int, count: int, klass: str, name_prefix: str = "gen"
+) -> List[DoLoop]:
+    """Generate ``count`` loops of one class with one deterministic seed."""
+    generator = LoopGenerator(seed)
+    return [
+        generator.generate(f"{name_prefix}_{klass}_{index}", klass)
+        for index in range(count)
+    ]

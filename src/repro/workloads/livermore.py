@@ -1,0 +1,425 @@
+"""Livermore-loop-style kernels, transcribed into the DO-loop DSL.
+
+The paper schedules all eligible DO loops of the Lawrence Livermore
+Loops (plus SPEC89 and Perfect Club).  The original FORTRAN sources are
+not part of this reproduction, so each kernel below transcribes the
+*innermost* loop of the corresponding Livermore kernel — same dataflow
+shape (operation mix, recurrences, conditionals, gathers), modest trip
+counts for simulation.  Multidimensional kernels are flattened to their
+innermost loop with loop-invariant outer terms, which is exactly what
+the paper's modulo scheduler sees as well.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    Const,
+    DoLoop,
+    Gather,
+    If,
+    Index,
+    Scalar,
+    Scatter,
+    Unary,
+)
+
+
+def _a(name, offset=0, stride=1):
+    return ArrayRef(name, offset, stride)
+
+
+def kernel1_hydro() -> DoLoop:
+    """LL1: hydrodynamics fragment."""
+    body = [
+        Assign(
+            _a("x"),
+            Scalar("q") + _a("y") * (Scalar("r") * _a("z", 10) + Scalar("t") * _a("z", 11)),
+        )
+    ]
+    return DoLoop(
+        "ll1_hydro", body,
+        arrays={"x": 64, "y": 64, "z": 80},
+        scalars={"q": 0.5, "r": 1.1, "t": 0.9},
+        trip=40,
+    )
+
+
+def kernel2_iccg() -> DoLoop:
+    """LL2: ICCG excerpt (stride-2 gather-free variant)."""
+    body = [
+        Assign(
+            _a("x", 0, 2),
+            _a("x", 0, 2) - _a("v", 0, 2) * _a("x", -1, 2) - _a("v", 1, 2) * _a("x", 1, 2),
+        )
+    ]
+    return DoLoop(
+        "ll2_iccg", body,
+        arrays={"x": 160, "v": 160},
+        trip=30,
+    )
+
+
+def kernel3_inner_product() -> DoLoop:
+    """LL3: inner product (the canonical reduction)."""
+    body = [Assign(Scalar("q"), Scalar("q") + _a("z") * _a("x"))]
+    return DoLoop(
+        "ll3_inner", body,
+        arrays={"z": 64, "x": 64},
+        scalars={"q": 0.0},
+        live_out=["q"],
+        trip=40,
+    )
+
+
+def kernel4_banded() -> DoLoop:
+    """LL4: banded linear equations (innermost update)."""
+    body = [
+        Assign(Scalar("xz"), Scalar("xz") - _a("x", -1, 5) * _a("y")),
+        Assign(_a("w"), Scalar("xz") * Scalar("r")),
+    ]
+    return DoLoop(
+        "ll4_banded", body,
+        arrays={"x": 300, "y": 64, "w": 64},
+        scalars={"xz": 1.0, "r": 0.25},
+        live_out=["xz"],
+        trip=40,
+    )
+
+
+def kernel5_tridiag() -> DoLoop:
+    """LL5: tri-diagonal elimination, below diagonal (first-order
+    recurrence through memory)."""
+    body = [Assign(_a("x"), _a("z") * (_a("y") - _a("x", -1)))]
+    return DoLoop(
+        "ll5_tridiag", body,
+        arrays={"x": 64, "y": 64, "z": 64},
+        trip=40,
+    )
+
+
+def kernel6_linear_recurrence() -> DoLoop:
+    """LL6: general linear recurrence equations (innermost step)."""
+    body = [Assign(Scalar("w"), Scalar("w") + _a("b") * _a("w_arr", -1)),
+            Assign(_a("w_arr"), Scalar("w"))]
+    return DoLoop(
+        "ll6_recur", body,
+        arrays={"b": 64, "w_arr": 64},
+        scalars={"w": 0.1},
+        live_out=["w"],
+        trip=40,
+    )
+
+
+def kernel7_state() -> DoLoop:
+    """LL7: equation of state fragment (wide expression tree)."""
+    r, t, q = Scalar("r"), Scalar("t"), Scalar("q")
+    body = [
+        Assign(
+            _a("x"),
+            _a("u")
+            + r * (_a("z") + r * _a("y"))
+            + t * (_a("u", 3) + r * (_a("u", 2) + r * _a("u", 1))
+                   + t * (_a("u", 6) + q * (_a("u", 5) + q * _a("u", 4)))),
+        )
+    ]
+    return DoLoop(
+        "ll7_state", body,
+        arrays={"x": 64, "y": 64, "z": 64, "u": 80},
+        scalars={"r": 1.01, "t": 0.97, "q": 1.03},
+        trip=40,
+    )
+
+
+def kernel8_adi() -> DoLoop:
+    """LL8: ADI integration (flattened innermost fragment)."""
+    a11, a12 = Scalar("a11"), Scalar("a12")
+    body = [
+        Assign(_a("du1"), _a("u1", 1) - _a("u1", -1)),
+        Assign(_a("du2"), _a("u2", 1) - _a("u2", -1)),
+        Assign(_a("u3"), _a("u3") + a11 * _a("du1") + a12 * _a("du2")),
+    ]
+    return DoLoop(
+        "ll8_adi", body,
+        arrays={"u1": 80, "u2": 80, "u3": 64, "du1": 64, "du2": 64},
+        scalars={"a11": 0.3, "a12": 0.7},
+        trip=40,
+    )
+
+
+def kernel9_integrate() -> DoLoop:
+    """LL9: integrate predictors (long dot of invariant coefficients)."""
+    terms = Scalar("c0") * _a("p0")
+    for j in range(1, 6):
+        terms = terms + Scalar(f"c{j}") * _a(f"p{j}")
+    body = [Assign(_a("px"), terms)]
+    return DoLoop(
+        "ll9_integrate", body,
+        arrays={"px": 64, **{f"p{j}": 64 for j in range(6)}},
+        scalars={f"c{j}": 0.1 * (j + 1) for j in range(6)},
+        trip=40,
+    )
+
+
+def kernel10_diff_predictors() -> DoLoop:
+    """LL10: difference predictors (chained scalar differences)."""
+    body = [
+        Assign(Scalar("ar"), _a("cx")),
+        Assign(Scalar("br"), Scalar("ar") - _a("px")),
+        Assign(_a("px"), Scalar("ar")),
+        Assign(Scalar("cr"), Scalar("br") - _a("py")),
+        Assign(_a("py"), Scalar("br")),
+        Assign(_a("pz"), Scalar("cr")),
+    ]
+    return DoLoop(
+        "ll10_diff", body,
+        arrays={"cx": 64, "px": 64, "py": 64, "pz": 64},
+        scalars={"ar": 0.0, "br": 0.0, "cr": 0.0},
+        trip=40,
+    )
+
+
+def kernel11_first_sum() -> DoLoop:
+    """LL11: first sum (prefix-sum recurrence)."""
+    body = [Assign(_a("x"), _a("x", -1) + _a("y"))]
+    return DoLoop("ll11_prefix", body, arrays={"x": 64, "y": 64}, trip=40)
+
+
+def kernel12_first_diff() -> DoLoop:
+    """LL12: first difference (cross-iteration load reuse)."""
+    body = [Assign(_a("x"), _a("y", 1) - _a("y"))]
+    return DoLoop("ll12_diff", body, arrays={"x": 64, "y": 80}, trip=40)
+
+
+def kernel13_pic2d() -> DoLoop:
+    """LL13: 2-D particle in cell (gathers via an index array)."""
+    body = [
+        Assign(Scalar("vx"), Gather("ex", Index()) + Gather("dex", Index())),
+        Assign(_a("xx"), _a("xx") + Scalar("vx") * Scalar("dt")),
+    ]
+    return DoLoop(
+        "ll13_pic2d", body,
+        arrays={"ex": 96, "dex": 96, "xx": 64},
+        scalars={"vx": 0.0, "dt": 0.01},
+        trip=40,
+    )
+
+
+def kernel14_pic1d() -> DoLoop:
+    """LL14: 1-D particle in cell (gather + scatter)."""
+    body = [
+        Assign(Scalar("load_v"), Gather("grd", Index())),
+        Assign(_a("vx"), _a("vx") + _a("ex") * Scalar("load_v")),
+        Assign(Scatter("rho", Index()), _a("vx") * Scalar("q")),
+    ]
+    return DoLoop(
+        "ll14_pic1d", body,
+        arrays={"grd": 96, "vx": 64, "ex": 64, "rho": 96},
+        scalars={"load_v": 0.0, "q": 1.5},
+        trip=40,
+    )
+
+
+def kernel15_casual() -> DoLoop:
+    """LL15: casual FORTRAN (data-dependent conditional stores)."""
+    body = [
+        If(
+            _a("vy") > Const(1.0),
+            then=[Assign(_a("vs"), _a("vy") * _a("vh"))],
+            orelse=[Assign(_a("vs"), _a("vh") - Const(1.0))],
+        )
+    ]
+    return DoLoop("ll15_casual", body, arrays={"vy": 64, "vh": 64, "vs": 64}, trip=40)
+
+
+def kernel16_monte_carlo() -> DoLoop:
+    """LL16: Monte Carlo search (nested data-dependent branching)."""
+    body = [
+        If(
+            _a("zone") < Scalar("mid"),
+            then=[
+                If(
+                    _a("zone", 1) < Scalar("mid"),
+                    then=[Assign(Scalar("j"), Scalar("j") + 1.0)],
+                    orelse=[Assign(Scalar("k"), Scalar("k") + 1.0)],
+                )
+            ],
+            orelse=[Assign(Scalar("m"), Scalar("m") + _a("zone"))],
+        )
+    ]
+    return DoLoop(
+        "ll16_monte", body,
+        arrays={"zone": 80},
+        scalars={"mid": 1.0, "j": 0.0, "k": 0.0, "m": 0.0},
+        live_out=["j", "k", "m"],
+        trip=40,
+    )
+
+
+def kernel17_implicit() -> DoLoop:
+    """LL17: implicit conditional computation."""
+    body = [
+        Assign(Scalar("qa"), _a("za", 1) * _a("zr") + _a("za", -1) * _a("zb")
+               + _a("zu") + _a("zv")),
+        If(
+            Scalar("qa") > Const(2.0),
+            then=[Assign(_a("za"), Scalar("qa"))],
+            orelse=[Assign(_a("za"), _a("zz"))],
+        ),
+    ]
+    return DoLoop(
+        "ll17_implicit", body,
+        arrays={"za": 80, "zr": 64, "zb": 64, "zu": 64, "zv": 64, "zz": 64},
+        scalars={"qa": 0.0},
+        trip=40,
+    )
+
+
+def kernel18_hydro2d() -> DoLoop:
+    """LL18: 2-D explicit hydrodynamics fragment (flattened)."""
+    s, t = Scalar("s"), Scalar("t")
+    body = [
+        Assign(
+            _a("za"),
+            (_a("zp", 1) + _a("zq", 1) - _a("zp") - _a("zq"))
+            * (_a("zr") + _a("zr", 1)) / (_a("zm") + _a("zm", 1)),
+        ),
+        Assign(_a("zu"), _a("zu") + s * (_a("za") * (_a("zz") - _a("zz", 1)) - t)),
+    ]
+    return DoLoop(
+        "ll18_hydro2d", body,
+        arrays={"za": 64, "zp": 80, "zq": 80, "zr": 80, "zm": 80, "zu": 64, "zz": 80},
+        scalars={"s": 0.5, "t": 0.2},
+        trip=40,
+    )
+
+
+def kernel19_recurrence() -> DoLoop:
+    """LL19: general linear recurrence (two coupled recurrences)."""
+    body = [
+        Assign(_a("b5"), _a("sa") + Scalar("stb5") * _a("sb")),
+        Assign(Scalar("stb5"), _a("b5") - Scalar("stb5")),
+    ]
+    return DoLoop(
+        "ll19_recur", body,
+        arrays={"b5": 64, "sa": 64, "sb": 64},
+        scalars={"stb5": 0.1},
+        live_out=["stb5"],
+        trip=40,
+    )
+
+
+def kernel20_transport() -> DoLoop:
+    """LL20: discrete ordinates transport (division chain)."""
+    body = [
+        Assign(
+            Scalar("di"),
+            _a("y") - _a("g") / (_a("xx", -1) + _a("dk")),
+        ),
+        Assign(
+            Scalar("dn"),
+            Const(0.2) / (Scalar("di") + Const(3.0)),
+        ),
+        Assign(_a("x"), ((_a("w") + _a("v") * Scalar("dn")) * _a("xx", -1) + _a("u"))
+               / (_a("vx") + _a("v") * Scalar("dn"))),
+        Assign(_a("xx"), (_a("x") - _a("xx", -1)) * Scalar("dn") + _a("xx", -1)),
+    ]
+    return DoLoop(
+        "ll20_transport", body,
+        arrays={"y": 64, "g": 64, "dk": 64, "x": 64, "w": 64, "v": 64,
+                "u": 64, "vx": 64, "xx": 64},
+        scalars={"di": 0.0, "dn": 0.0},
+        trip=30,
+    )
+
+
+def kernel21_matmul() -> DoLoop:
+    """LL21: matrix product innermost loop (multiply-accumulate)."""
+    body = [Assign(_a("px"), _a("px") + Scalar("vy") * _a("cx"))]
+    return DoLoop(
+        "ll21_matmul", body,
+        arrays={"px": 64, "cx": 64},
+        scalars={"vy": 1.7},
+        trip=40,
+    )
+
+
+def kernel22_planckian() -> DoLoop:
+    """LL22: Planckian distribution (exp approximated by division mix)."""
+    body = [
+        Assign(_a("y"), _a("u") / _a("v")),
+        Assign(_a("w"), _a("x") / (_a("y") + Const(1.0))),
+    ]
+    return DoLoop(
+        "ll22_planck", body,
+        arrays={"y": 64, "u": 64, "v": 64, "w": 64, "x": 64},
+        trip=30,
+    )
+
+
+def kernel23_implicit_hydro() -> DoLoop:
+    """LL23: 2-D implicit hydrodynamics fragment."""
+    body = [
+        Assign(
+            Scalar("qa"),
+            _a("za", 1) * _a("zr") + _a("za", -1) * _a("zb")
+            + _a("zu") * _a("zv") + _a("zz"),
+        ),
+        Assign(_a("za"), _a("za") + Const(0.175) * (Scalar("qa") - _a("za"))),
+    ]
+    return DoLoop(
+        "ll23_imphydro", body,
+        arrays={"za": 80, "zr": 64, "zb": 64, "zu": 64, "zv": 64, "zz": 64},
+        scalars={"qa": 0.0},
+        trip=40,
+    )
+
+
+def kernel24_first_min() -> DoLoop:
+    """LL24: location of first minimum (conditional scalar tracking)."""
+    body = [
+        If(
+            _a("x") < Scalar("xm"),
+            then=[Assign(Scalar("xm"), _a("x")), Assign(Scalar("m"), Index())],
+        )
+    ]
+    return DoLoop(
+        "ll24_firstmin", body,
+        arrays={"x": 64},
+        scalars={"xm": 10.0, "m": 0.0},
+        live_out=["xm", "m"],
+        trip=40,
+    )
+
+
+def livermore_kernels() -> List[DoLoop]:
+    """All 24 Livermore-style kernels in order."""
+    return [
+        kernel1_hydro(),
+        kernel2_iccg(),
+        kernel3_inner_product(),
+        kernel4_banded(),
+        kernel5_tridiag(),
+        kernel6_linear_recurrence(),
+        kernel7_state(),
+        kernel8_adi(),
+        kernel9_integrate(),
+        kernel10_diff_predictors(),
+        kernel11_first_sum(),
+        kernel12_first_diff(),
+        kernel13_pic2d(),
+        kernel14_pic1d(),
+        kernel15_casual(),
+        kernel16_monte_carlo(),
+        kernel17_implicit(),
+        kernel18_hydro2d(),
+        kernel19_recurrence(),
+        kernel20_transport(),
+        kernel21_matmul(),
+        kernel22_planckian(),
+        kernel23_implicit_hydro(),
+        kernel24_first_min(),
+    ]

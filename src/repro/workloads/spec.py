@@ -1,0 +1,136 @@
+"""SPEC89-FORTRAN/Perfect-Club-style kernels for the corpus.
+
+Hand-written DO loops capturing the idioms those suites contribute
+beyond the Livermore set: saxpy/BLAS-1 shapes, stencils, Horner
+polynomial evaluation, normalization with sqrt/divide, complex
+arithmetic, conditional smoothing, and back-substitution recurrences.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend.ast import ArrayRef, Assign, Const, DoLoop, If, Index, Scalar, Unary
+
+
+def _a(name, offset=0, stride=1):
+    return ArrayRef(name, offset, stride)
+
+
+def saxpy() -> DoLoop:
+    body = [Assign(_a("y"), Scalar("a") * _a("x") + _a("y"))]
+    return DoLoop("spec_saxpy", body, arrays={"x": 64, "y": 64},
+                  scalars={"a": 2.5}, trip=40)
+
+
+def dscal() -> DoLoop:
+    body = [Assign(_a("x"), Scalar("a") * _a("x"))]
+    return DoLoop("spec_dscal", body, arrays={"x": 64}, scalars={"a": 1.01}, trip=40)
+
+
+def stencil3() -> DoLoop:
+    body = [Assign(_a("out"), (_a("in", -1) + _a("in") + _a("in", 1)) * Const(1.0 / 3.0))]
+    return DoLoop("spec_stencil3", body, arrays={"in": 80, "out": 64}, trip=40)
+
+
+def stencil5() -> DoLoop:
+    body = [
+        Assign(
+            _a("out"),
+            Scalar("c0") * _a("in")
+            + Scalar("c1") * (_a("in", -1) + _a("in", 1))
+            + Scalar("c2") * (_a("in", -2) + _a("in", 2)),
+        )
+    ]
+    return DoLoop("spec_stencil5", body, arrays={"in": 96, "out": 64},
+                  scalars={"c0": 0.4, "c1": 0.2, "c2": 0.1}, trip=40)
+
+
+def horner() -> DoLoop:
+    """Horner evaluation with a scalar recurrence per iteration."""
+    body = [Assign(Scalar("p"), Scalar("p") * _a("x") + _a("c"))]
+    return DoLoop("spec_horner", body, arrays={"x": 64, "c": 64},
+                  scalars={"p": 0.0}, live_out=["p"], trip=40)
+
+
+def complex_multiply() -> DoLoop:
+    body = [
+        Assign(_a("cr"), _a("ar") * _a("br") - _a("ai") * _a("bi")),
+        Assign(_a("ci"), _a("ar") * _a("bi") + _a("ai") * _a("br")),
+    ]
+    return DoLoop("spec_cmul", body,
+                  arrays={"ar": 64, "ai": 64, "br": 64, "bi": 64, "cr": 64, "ci": 64},
+                  trip=40)
+
+
+def normalize() -> DoLoop:
+    body = [
+        Assign(Scalar("n"), Unary("sqrt", _a("x") * _a("x") + _a("y") * _a("y"))),
+        Assign(_a("nx"), _a("x") / (Scalar("n") + Const(0.5))),
+        Assign(_a("ny"), _a("y") / (Scalar("n") + Const(0.5))),
+    ]
+    return DoLoop("spec_normalize", body,
+                  arrays={"x": 64, "y": 64, "nx": 64, "ny": 64},
+                  scalars={"n": 0.0}, trip=30)
+
+
+def max_reduction() -> DoLoop:
+    body = [
+        If(_a("x") > Scalar("best"),
+           then=[Assign(Scalar("best"), _a("x")), Assign(Scalar("where"), Index())])
+    ]
+    return DoLoop("spec_maxred", body, arrays={"x": 64},
+                  scalars={"best": 0.0, "where": 0.0},
+                  live_out=["best", "where"], trip=40)
+
+
+def conditional_smooth() -> DoLoop:
+    body = [
+        If(_a("rough") > Const(1.2),
+           then=[Assign(_a("out"), (_a("in", -1) + _a("in", 1)) * Const(0.5))],
+           orelse=[Assign(_a("out"), _a("in"))]),
+    ]
+    return DoLoop("spec_condsmooth", body,
+                  arrays={"rough": 64, "in": 80, "out": 64}, trip=40)
+
+
+def back_substitution() -> DoLoop:
+    """Back-substitution style x(i) = (b(i) - c(i)*x(i-1)) / d(i)."""
+    body = [Assign(_a("x"), (_a("b") - _a("c") * _a("x", -1)) / _a("d"))]
+    return DoLoop("spec_backsub", body,
+                  arrays={"x": 64, "b": 64, "c": 64, "d": 64}, trip=30)
+
+
+def running_average() -> DoLoop:
+    body = [
+        Assign(Scalar("acc"), Scalar("acc") * Const(0.9) + _a("x") * Const(0.1)),
+        Assign(_a("avg"), Scalar("acc")),
+    ]
+    return DoLoop("spec_runavg", body, arrays={"x": 64, "avg": 64},
+                  scalars={"acc": 1.0}, live_out=["acc"], trip=40)
+
+
+def interleaved_update() -> DoLoop:
+    """Even/odd interleaving through stride-2 references."""
+    body = [
+        Assign(_a("z", 0, 2), _a("x", 0, 2) + _a("x", 1, 2)),
+        Assign(_a("z", 1, 2), _a("x", 0, 2) - _a("x", 1, 2)),
+    ]
+    return DoLoop("spec_interleave", body, arrays={"x": 160, "z": 160}, trip=40)
+
+
+def spec_kernels() -> List[DoLoop]:
+    return [
+        saxpy(),
+        dscal(),
+        stencil3(),
+        stencil5(),
+        horner(),
+        complex_multiply(),
+        normalize(),
+        max_reduction(),
+        conditional_smooth(),
+        back_substitution(),
+        running_average(),
+        interleaved_update(),
+    ]

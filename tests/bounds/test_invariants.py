@@ -1,0 +1,113 @@
+"""Property tests tying the bounds to real schedules.
+
+These check the *mathematical relationships* the paper's evaluation
+rests on, over randomly generated programs:
+
+* MinLT(v) really lower-bounds v's lifetime in any feasible schedule;
+* the LiveVector conserves total lifetime (its sum equals the summed
+  lifetime lengths);
+* MaxLive never undercuts the average occupancy ceil(sum/II);
+* MII really lower-bounds every achieved II;
+* MinDist really lower-bounds the time separation of every scheduled
+  pair of operations.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import (
+    MinDist,
+    min_lifetime,
+    live_vector,
+    rr_values,
+    schedule_lifetimes,
+)
+from repro.core import modulo_schedule
+from repro.frontend import compile_loop
+from repro.ir import build_ddg
+from repro.machine import cydra5
+from repro.workloads import LoopGenerator
+
+MACHINE = cydra5()
+
+
+@st.composite
+def scheduled_loops(draw):
+    seed = draw(st.integers(min_value=0, max_value=4_000))
+    klass = draw(st.sampled_from(["neither", "conditional", "recurrence", "both"]))
+    program = LoopGenerator(seed).generate(f"inv_{seed}", klass)
+    loop = compile_loop(program)
+    ddg = build_ddg(loop, MACHINE)
+    result = modulo_schedule(loop, MACHINE, ddg=ddg)
+    return loop, ddg, result
+
+
+@given(scheduled_loops())
+@settings(max_examples=30, deadline=None)
+def test_minlt_lower_bounds_actual_lifetimes(case):
+    loop, ddg, result = case
+    assert result.success
+    ii = result.schedule.ii
+    mindist = MinDist(ddg, ii)
+    lifetimes = {
+        lt.value.vid: lt
+        for lt in schedule_lifetimes(loop, ddg, result.schedule.times, ii)
+    }
+    for value in rr_values(loop):
+        if value.vid not in lifetimes:
+            continue
+        actual = lifetimes[value.vid].length
+        bound = min_lifetime(value, ddg, mindist, ii)
+        assert actual >= bound, f"{value}: lifetime {actual} < MinLT {bound}"
+
+
+@given(scheduled_loops())
+@settings(max_examples=30, deadline=None)
+def test_live_vector_conserves_total_lifetime(case):
+    loop, ddg, result = case
+    ii = result.schedule.ii
+    lifetimes = schedule_lifetimes(loop, ddg, result.schedule.times, ii)
+    vector = live_vector(lifetimes, ii)
+    assert sum(vector) == sum(lt.length for lt in lifetimes)
+
+
+@given(scheduled_loops())
+@settings(max_examples=30, deadline=None)
+def test_maxlive_at_least_average(case):
+    loop, ddg, result = case
+    ii = result.schedule.ii
+    lifetimes = schedule_lifetimes(loop, ddg, result.schedule.times, ii)
+    vector = live_vector(lifetimes, ii)
+    if not vector:
+        return
+    total = sum(lt.length for lt in lifetimes)
+    assert max(vector) >= math.ceil(total / ii)
+
+
+@given(scheduled_loops())
+@settings(max_examples=30, deadline=None)
+def test_achieved_ii_at_least_mii(case):
+    _, __, result = case
+    assert result.ii >= result.mii
+    assert result.mii == max(result.res_mii, result.rec_mii)
+
+
+@given(scheduled_loops())
+@settings(max_examples=20, deadline=None)
+def test_mindist_lower_bounds_schedule_separations(case):
+    loop, ddg, result = case
+    ii = result.schedule.ii
+    times = result.schedule.times
+    mindist = MinDist(ddg, ii)
+    oids = [op.oid for op in loop.ops]
+    for src in oids:
+        for dst in oids:
+            distance = mindist.dist(src, dst)
+            if distance is None:
+                continue
+            assert times[dst] - times[src] >= distance, (
+                f"MinDist({src},{dst})={distance} violated: "
+                f"{times[dst]} - {times[src]}"
+            )

@@ -1,0 +1,86 @@
+"""Unit tests for the MinDist relation (paper §4.1)."""
+
+from repro.bounds import MinDist, is_feasible_ii
+from repro.ir import build_ddg
+
+from tests.conftest import build_figure1_loop
+
+
+def _ops_by_name(loop):
+    named = {}
+    for op in loop.real_ops:
+        if op.dest is not None:
+            named[op.dest.name] = op
+        elif op.is_store:
+            named[f"store_{op.attrs['array']}"] = op
+    return named
+
+
+def test_mindist_from_start_is_nonnegative(machine):
+    loop = build_figure1_loop()
+    ddg = build_ddg(loop, machine)
+    mindist = MinDist(ddg, ii=2)
+    for op in loop.ops:
+        assert mindist.dist(loop.start.oid, op.oid) >= 0
+
+
+def test_mindist_matches_hand_computation(machine):
+    loop = build_figure1_loop()
+    ddg = build_ddg(loop, machine)
+    mindist = MinDist(ddg, ii=2)
+    named = _ops_by_name(loop)
+    x_def, y_def = named["x"], named["y"]
+    store_x = named["store_x"]
+    # Cross arc x -> y has latency 1, omega 2: cost 1 - 2*2 = -3.
+    assert mindist.dist(x_def.oid, y_def.oid) == -3
+    assert mindist.dist(y_def.oid, x_def.oid) == -3
+    # x -> store_x: latency 1.
+    assert mindist.dist(x_def.oid, store_x.oid) == 1
+    # Stop is at least one cycle after the last store completes.
+    assert mindist.dist(x_def.oid, loop.stop.oid) == 2
+
+
+def test_mindist_diagonal_is_zero(machine):
+    loop = build_figure1_loop()
+    ddg = build_ddg(loop, machine)
+    mindist = MinDist(ddg, ii=2)
+    for op in loop.ops:
+        assert mindist.dist(op.oid, op.oid) == 0
+
+
+def test_no_path_returns_none(machine):
+    loop = build_figure1_loop()
+    ddg = build_ddg(loop, machine)
+    mindist = MinDist(ddg, ii=2)
+    named = _ops_by_name(loop)
+    # Nothing depends on a store, so there is no path store -> x.
+    assert mindist.dist(named["store_x"].oid, named["x"].oid) is None
+    assert not mindist.has_path(named["store_x"].oid, named["x"].oid)
+    assert mindist.has_path(named["x"].oid, named["store_x"].oid)
+
+
+def test_costs_shrink_as_ii_grows(machine):
+    loop = build_figure1_loop()
+    ddg = build_ddg(loop, machine)
+    named = _ops_by_name(loop)
+    x_def, y_def = named["x"], named["y"]
+    d2 = MinDist(ddg, ii=2).dist(x_def.oid, y_def.oid)
+    d5 = MinDist(ddg, ii=5).dist(x_def.oid, y_def.oid)
+    assert d5 < d2
+
+
+def test_feasibility_predicate(machine):
+    loop = build_figure1_loop()
+    ddg = build_ddg(loop, machine)
+    # Figure 1's recurrences allow II = 1 (each circuit has slack).
+    assert is_feasible_ii(ddg, 1)
+    assert is_feasible_ii(ddg, 4)
+
+
+def test_mindist_rejects_nonpositive_ii(machine):
+    loop = build_figure1_loop()
+    ddg = build_ddg(loop, machine)
+    import pytest
+
+    with pytest.raises(ValueError):
+        MinDist(ddg, ii=0)

@@ -1,0 +1,65 @@
+"""Unit tests for ResMII and critical-resource marking."""
+
+from repro.bounds import critical_unit_instances, resmii, unit_requirements
+from repro.ir import DType, LoopBody, Opcode, Operand
+
+from tests.conftest import build_divider_loop, build_figure1_loop
+
+
+def test_figure1_resmii_is_two(machine):
+    """Two float adds on one Adder dominate: ResMII = 2 (Figure 3's II)."""
+    assert resmii(build_figure1_loop(), machine) == 2
+
+
+def test_unit_requirements_counts_busy_cycles(machine):
+    loop = build_divider_loop()
+    needs = unit_requirements(loop, machine)
+    divider_index = machine.unit_class_index(Opcode.DIV_F)
+    assert needs[divider_index] == 17
+    memory_index = machine.unit_class_index(Opcode.LOAD)
+    assert needs[memory_index] == 2  # one load + one store
+
+
+def test_nonpipelined_divider_dominates_resmii(machine):
+    """A single 17-cycle divide forces II >= 17 on the 1-deep divider."""
+    assert resmii(build_divider_loop(), machine) == 17
+
+
+def test_resmii_divides_by_unit_count(machine):
+    loop = LoopBody("loads")
+    for i in range(5):
+        addr = loop.new_value(f"a{i}", DType.ADDR)
+        loop.add_op(
+            Opcode.ADDR_ADD, addr, [Operand(addr, back=1), Operand(loop.constant(4, DType.ADDR))]
+        )
+        dest = loop.new_value(f"x{i}", DType.FLOAT)
+        loop.add_op(Opcode.LOAD, dest, [Operand(addr)], array=f"arr{i}")
+    loop.finalize()
+    # 5 loads over 2 memory ports: ceil(5/2) = 3 > ceil(5/2 addr adds).
+    assert resmii(loop, machine) == 3
+
+
+def test_empty_loop_resmii_is_one(machine):
+    loop = LoopBody("empty").finalize()
+    assert resmii(loop, machine) == 1
+
+
+def test_critical_instances_at_tight_ii(machine):
+    loop = build_figure1_loop()
+    binding = machine.bind_units(loop)
+    adder_index = machine.unit_class_index(Opcode.ADD_F)
+    # At II=2 the Adder instance runs 2/2 = 100% busy: critical.
+    critical = critical_unit_instances(loop, machine, binding, ii=2)
+    assert (adder_index, 0) in critical
+    # At II=4 it is 50% busy: not critical.
+    relaxed = critical_unit_instances(loop, machine, binding, ii=4)
+    assert (adder_index, 0) not in relaxed
+
+
+def test_critical_threshold_is_090(machine):
+    loop = build_figure1_loop()
+    binding = machine.bind_units(loop)
+    adder_index = machine.unit_class_index(Opcode.ADD_F)
+    # 2 busy cycles, threshold 0.9: critical iff 2 >= 0.9 * II, i.e. II <= 2.
+    assert (adder_index, 0) in critical_unit_instances(loop, machine, binding, ii=2)
+    assert (adder_index, 0) not in critical_unit_instances(loop, machine, binding, ii=3)

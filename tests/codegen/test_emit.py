@@ -1,0 +1,81 @@
+"""Unit tests for textual kernel emission details."""
+
+from repro.codegen import emit_kernel, generate_kernel
+from repro.core import modulo_schedule
+from repro.frontend import ArrayRef, Assign, DoLoop, Gather, Index, compile_loop
+from repro.machine import cydra5
+
+MACHINE = cydra5()
+
+
+def _emit(program):
+    loop = compile_loop(program)
+    result = modulo_schedule(loop, MACHINE)
+    return emit_kernel(generate_kernel(result.schedule))
+
+
+def test_affine_memory_comment_shows_displacement():
+    text = _emit(
+        DoLoop(
+            "disp",
+            body=[Assign(ArrayRef("z"), ArrayRef("x", -2) + ArrayRef("y", 3))],
+            arrays={"z": 40, "x": 60, "y": 60},
+            trip=8,
+        )
+    )
+    assert "x[i-2]" in text
+    assert "y[i+3]" in text
+
+
+def test_gather_memory_comment():
+    text = _emit(
+        DoLoop(
+            "ind",
+            body=[Assign(ArrayRef("z"), Gather("v", Index()))],
+            arrays={"z": 40, "v": 60},
+            trip=8,
+        )
+    )
+    assert "v[indirect]" in text
+
+
+def test_empty_rows_emit_nop():
+    # A loop whose II exceeds its op count leaves empty rows.
+    program = DoLoop(
+        "sparse",
+        body=[Assign(ArrayRef("z"), ArrayRef("z", -1) / (ArrayRef("x") + 2.0))],
+        arrays={"z": 40, "x": 40},
+        trip=8,
+    )
+    text = _emit(program)
+    assert "nop" in text
+
+
+def test_header_reports_all_three_files():
+    text = _emit(
+        DoLoop(
+            "hdr",
+            body=[Assign(ArrayRef("z"), ArrayRef("x") * 2.0)],
+            arrays={"z": 40, "x": 40},
+            trip=8,
+        )
+    )
+    assert "RR file:" in text
+    assert "ICR file:" in text
+    assert "GPR file:" in text
+
+
+def test_predicated_op_renders_guard():
+    from repro.frontend import Const, If
+
+    text = _emit(
+        DoLoop(
+            "grd",
+            body=[
+                If(ArrayRef("x") > Const(1.0), then=[Assign(ArrayRef("z"), ArrayRef("x"))])
+            ],
+            arrays={"z": 40, "x": 40},
+            trip=8,
+        )
+    )
+    assert " if icr[" in text

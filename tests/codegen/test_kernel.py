@@ -1,0 +1,86 @@
+"""Unit tests for kernel-only code generation and emission."""
+
+import pytest
+
+from repro.codegen import emit_kernel, generate_kernel
+from repro.core import modulo_schedule
+from repro.frontend import ArrayRef, Assign, DoLoop, Scalar, compile_loop
+from repro.ir import build_ddg
+from repro.machine import cydra5
+from repro.regalloc import allocate_registers
+from repro.workloads.livermore import kernel5_tridiag, kernel15_casual
+
+MACHINE = cydra5()
+
+
+def _kernel(program):
+    loop = compile_loop(program)
+    ddg = build_ddg(loop, MACHINE)
+    result = modulo_schedule(loop, MACHINE, ddg=ddg)
+    return generate_kernel(result.schedule, allocate_registers(result.schedule, ddg))
+
+
+def test_rows_cover_every_real_op():
+    kernel = _kernel(kernel5_tridiag())
+    assert len(kernel.rows) == kernel.ii
+    ops = kernel.all_ops()
+    assert len(ops) == len(kernel.loop.real_ops)
+
+
+def test_row_and_stage_match_schedule():
+    kernel = _kernel(kernel5_tridiag())
+    for kop in kernel.all_ops():
+        time = kernel.schedule.times[kop.op.oid]
+        assert kop.row == time % kernel.ii
+        assert kop.stage == time // kernel.ii
+
+
+def test_use_specifier_adds_stage_and_distance():
+    """The rotation encoding: use spec = def spec + stage delta + back."""
+    kernel = _kernel(kernel5_tridiag())
+    by_oid = {kop.op.oid: kop for kop in kernel.all_ops()}
+    for kop in kernel.all_ops():
+        for ir_operand, encoded in zip(kop.op.operands, kop.operands):
+            if encoded.kind not in ("rr", "icr"):
+                continue
+            defop = ir_operand.value.defop
+            def_kop = by_oid[defop.oid]
+            assert def_kop.dest is not None
+            base = def_kop.dest.spec - def_kop.stage
+            assert encoded.spec == base + kop.stage + ir_operand.back
+
+
+def test_predicated_ops_carry_icr_operand():
+    kernel = _kernel(kernel15_casual())
+    predicated = [kop for kop in kernel.all_ops() if kop.op.predicate is not None]
+    assert predicated
+    assert all(kop.predicate is not None and kop.predicate.kind == "icr" for kop in predicated)
+
+
+def test_invariants_and_constants_encode_as_gpr_and_imm():
+    program = DoLoop(
+        "mix",
+        body=[Assign(ArrayRef("z"), Scalar("a") * ArrayRef("x") + 2.0)],
+        arrays={"z": 30, "x": 30},
+        scalars={"a": 1.5},
+        trip=8,
+    )
+    kernel = _kernel(program)
+    kinds = {o.kind for kop in kernel.all_ops() for o in kop.operands}
+    assert "gpr" in kinds and "imm" in kinds and "rr" in kinds
+
+
+def test_emit_kernel_listing():
+    kernel = _kernel(kernel5_tridiag())
+    text = emit_kernel(kernel)
+    assert f"II = {kernel.ii} cycles" in text
+    assert "row 0:" in text
+    assert "store" in text and "mulf" in text
+    assert "rotating registers" in text
+
+
+def test_operand_render():
+    kernel = _kernel(kernel5_tridiag())
+    rendered = [o.render() for kop in kernel.all_ops() for o in kop.operands]
+    assert any(r.startswith("rr[p+") for r in rendered)
+    assert any(r.startswith("#") for r in rendered)

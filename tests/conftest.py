@@ -1,0 +1,99 @@
+"""Shared fixtures and hand-built IR loops for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import DType, LoopBody, Opcode, Operand, ValueKind
+from repro.machine import cydra5
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The paper's Table 1 machine with the default 13-cycle loads."""
+    return cydra5()
+
+
+def build_figure1_loop() -> LoopBody:
+    """The paper's Figure 1 sample loop, after load/store elimination.
+
+    do i = 3, n
+        x(i) = x(i-1) + y(i-2)
+        y(i) = y(i-1) + x(i-2)
+    enddo
+
+    Loads of x(i-1), y(i-2), y(i-1), x(i-2) are replaced by register flow
+    from earlier iterations; the stores and their address induction
+    variables remain.
+    """
+    loop = LoopBody("figure1")
+    xv = loop.new_value("x", DType.FLOAT)
+    yv = loop.new_value("y", DType.FLOAT)
+    ax = loop.new_value("ax", DType.ADDR)
+    ay = loop.new_value("ay", DType.ADDR)
+    four = loop.constant(4, DType.ADDR)
+
+    loop.add_op(Opcode.ADDR_ADD, ax, [Operand(ax, back=1), Operand(four)])
+    loop.add_op(Opcode.ADDR_ADD, ay, [Operand(ay, back=1), Operand(four)])
+    loop.add_op(Opcode.ADD_F, xv, [Operand(xv, back=1), Operand(yv, back=2)])
+    loop.add_op(Opcode.ADD_F, yv, [Operand(yv, back=1), Operand(xv, back=2)])
+    store_x = loop.add_op(Opcode.STORE, None, [Operand(ax), Operand(xv)], array="x")
+    store_y = loop.add_op(Opcode.STORE, None, [Operand(ay), Operand(yv)], array="y")
+    loop.add_op(Opcode.BRTOP)
+    loop.meta["has_conditional"] = False
+    return loop.finalize()
+
+
+def build_accumulator_loop() -> LoopBody:
+    """A dot-product-style reduction: s = s + x(i) * y(i), loads kept."""
+    loop = LoopBody("dotprod")
+    ax = loop.new_value("ax", DType.ADDR)
+    ay = loop.new_value("ay", DType.ADDR)
+    xv = loop.new_value("x", DType.FLOAT)
+    yv = loop.new_value("y", DType.FLOAT)
+    pv = loop.new_value("p", DType.FLOAT)
+    sv = loop.new_value("s", DType.FLOAT)
+    four = loop.constant(4, DType.ADDR)
+
+    loop.add_op(Opcode.ADDR_ADD, ax, [Operand(ax, back=1), Operand(four)])
+    loop.add_op(Opcode.ADDR_ADD, ay, [Operand(ay, back=1), Operand(four)])
+    loop.add_op(Opcode.LOAD, xv, [Operand(ax)], array="x")
+    loop.add_op(Opcode.LOAD, yv, [Operand(ay)], array="y")
+    loop.add_op(Opcode.MUL_F, pv, [Operand(xv), Operand(yv)])
+    loop.add_op(Opcode.ADD_F, sv, [Operand(sv, back=1), Operand(pv)])
+    loop.add_op(Opcode.BRTOP)
+    loop.live_out["s"] = sv
+    return loop.finalize()
+
+
+def build_divider_loop() -> LoopBody:
+    """A loop with a float divide (non-pipelined divider pressure)."""
+    loop = LoopBody("divloop")
+    ax = loop.new_value("ax", DType.ADDR)
+    xv = loop.new_value("x", DType.FLOAT)
+    qv = loop.new_value("q", DType.FLOAT)
+    four = loop.constant(4, DType.ADDR)
+    cv = loop.invariant("c", DType.FLOAT)
+
+    loop.add_op(Opcode.ADDR_ADD, ax, [Operand(ax, back=1), Operand(four)])
+    load = loop.add_op(Opcode.LOAD, xv, [Operand(ax)], array="x")
+    loop.add_op(Opcode.DIV_F, qv, [Operand(xv), Operand(cv)])
+    store = loop.add_op(Opcode.STORE, None, [Operand(ax), Operand(qv)], array="x")
+    loop.add_mem_dep(load, store, omega=0)  # anti: read x(i) before overwriting it
+    loop.add_op(Opcode.BRTOP)
+    return loop.finalize()
+
+
+@pytest.fixture
+def figure1_loop():
+    return build_figure1_loop()
+
+
+@pytest.fixture
+def accumulator_loop():
+    return build_accumulator_loop()
+
+
+@pytest.fixture
+def divider_loop():
+    return build_divider_loop()

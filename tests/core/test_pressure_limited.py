@@ -1,0 +1,62 @@
+"""Tests for pressure-limited scheduling (the footnote-1 extension)."""
+
+import pytest
+
+from repro.bounds import rr_max_live
+from repro.core import SchedulerOptions, modulo_schedule, validate_schedule
+from repro.frontend import compile_loop
+from repro.ir import build_ddg
+from repro.machine import cydra5
+
+from tests.conftest import build_accumulator_loop
+from repro.workloads.livermore import kernel7_state
+
+MACHINE = cydra5()
+
+
+def _pressure(loop, ddg, result):
+    return rr_max_live(loop, ddg, result.schedule.times, result.schedule.ii)
+
+
+def test_unlimited_budget_is_default():
+    loop = build_accumulator_loop()
+    result = modulo_schedule(loop, MACHINE)
+    assert result.ii == result.mii
+
+
+def test_tight_budget_trades_ii_for_registers():
+    program = kernel7_state()
+    loop = compile_loop(program)
+    ddg = build_ddg(loop, MACHINE)
+    free = modulo_schedule(loop, MACHINE, ddg=ddg)
+    baseline_pressure = _pressure(loop, ddg, free)
+    budget = baseline_pressure - 4
+    limited = modulo_schedule(
+        loop, MACHINE, ddg=ddg,
+        options=SchedulerOptions(max_rr_pressure=budget, max_attempts=40),
+    )
+    assert limited.success
+    assert _pressure(loop, ddg, limited) <= budget
+    assert limited.ii > free.ii  # registers were bought with cycles
+    assert validate_schedule(limited.schedule, ddg) == []
+
+
+def test_generous_budget_changes_nothing():
+    program = kernel7_state()
+    loop = compile_loop(program)
+    ddg = build_ddg(loop, MACHINE)
+    free = modulo_schedule(loop, MACHINE, ddg=ddg)
+    roomy = modulo_schedule(
+        loop, MACHINE, ddg=ddg,
+        options=SchedulerOptions(max_rr_pressure=_pressure(loop, ddg, free) + 10),
+    )
+    assert roomy.ii == free.ii
+
+
+def test_impossible_budget_fails_cleanly():
+    loop = build_accumulator_loop()  # 13-cycle load alone keeps ~13 live
+    result = modulo_schedule(
+        loop, MACHINE, options=SchedulerOptions(max_rr_pressure=1, max_attempts=5)
+    )
+    assert not result.success
+    assert result.last_attempted_ii > result.mii

@@ -1,0 +1,35 @@
+"""Unit tests for the schedule's ASCII modulo resource table."""
+
+from repro.core import modulo_schedule
+from repro.machine import cydra5
+
+from tests.conftest import build_divider_loop, build_figure1_loop
+
+MACHINE = cydra5()
+
+
+def test_every_unit_instance_has_a_lane():
+    result = modulo_schedule(build_figure1_loop(), MACHINE)
+    text = result.schedule.render_resource_table()
+    for name in ("Memory Port[0]", "Memory Port[1]", "Address ALU[1]",
+                 "Adder[0]", "Multiplier[0]", "Divider[0]", "Branch Unit[0]"):
+        assert name in text
+
+
+def test_each_real_op_appears_once():
+    result = modulo_schedule(build_figure1_loop(), MACHINE)
+    text = result.schedule.render_resource_table()
+    # The unit-name column is 18 characters wide.
+    cells = [c for line in text.splitlines()[2:] for c in line[18:].split()]
+    oids = [c for c in cells if c not in (".", "=")]
+    assert sorted(int(o) for o in oids) == sorted(
+        op.oid for op in result.schedule.loop.real_ops
+    )
+
+
+def test_nonpipelined_busy_cycles_marked():
+    result = modulo_schedule(build_divider_loop(), MACHINE)
+    text = result.schedule.render_resource_table()
+    divider_line = next(l for l in text.splitlines() if l.startswith("Divider"))
+    # The 17-cycle divide occupies 1 issue cell + 16 '=' continuation cells.
+    assert divider_line[18:].split().count("=") == 16

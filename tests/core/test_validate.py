@@ -1,0 +1,47 @@
+"""Unit tests for the static schedule validator."""
+
+from repro.core import modulo_schedule, validate_schedule
+
+from tests.conftest import build_figure1_loop
+
+
+def test_valid_schedule_has_no_violations(machine):
+    result = modulo_schedule(build_figure1_loop(), machine)
+    assert validate_schedule(result.schedule) == []
+
+
+def test_detects_dependence_violation(machine):
+    result = modulo_schedule(build_figure1_loop(), machine)
+    schedule = result.schedule
+    loop = schedule.loop
+    store = next(op for op in loop.real_ops if op.is_store)
+    schedule.times[store.oid] = -50  # before its operands exist
+    violations = validate_schedule(schedule)
+    assert any("dependence violated" in v for v in violations)
+
+
+def test_detects_resource_conflict(machine):
+    result = modulo_schedule(build_figure1_loop(), machine)
+    schedule = result.schedule
+    loop = schedule.loop
+    adds = [op for op in loop.real_ops if op.opcode.value == "addf"]
+    # Put both adds in the same modulo row of the single Adder.
+    schedule.times[adds[1].oid] = schedule.times[adds[0].oid] + schedule.ii * 3
+    violations = validate_schedule(schedule)
+    assert any("resource conflict" in v for v in violations)
+
+
+def test_detects_unplaced_op(machine):
+    result = modulo_schedule(build_figure1_loop(), machine)
+    schedule = result.schedule
+    del schedule.times[schedule.loop.real_ops[0].oid]
+    violations = validate_schedule(schedule)
+    assert any("unplaced" in v for v in violations)
+
+
+def test_detects_misplaced_start(machine):
+    result = modulo_schedule(build_figure1_loop(), machine)
+    schedule = result.schedule
+    schedule.times[schedule.loop.start.oid] = 1
+    violations = validate_schedule(schedule)
+    assert any("Start" in v for v in violations)

@@ -1,0 +1,55 @@
+"""Unit tests for metrics export (CSV/JSON)."""
+
+import csv
+import io
+import json
+
+from repro.experiments import (
+    measure_loop,
+    metrics_fieldnames,
+    to_csv,
+    to_json,
+    write_csv,
+    write_json,
+)
+from repro.machine import cydra5
+from repro.workloads import named_kernels
+
+MACHINE = cydra5()
+
+
+def _metrics():
+    return [measure_loop(p, MACHINE) for p in named_kernels()[:4]]
+
+
+def test_fieldnames_include_derived():
+    names = metrics_fieldnames()
+    assert "name" in names and "max_live" in names
+    assert "optimal" in names and "pressure_gap" in names
+
+
+def test_csv_round_trip():
+    metrics = _metrics()
+    rows = list(csv.DictReader(io.StringIO(to_csv(metrics))))
+    assert len(rows) == 4
+    assert rows[0]["name"] == metrics[0].name
+    assert int(rows[0]["max_live"]) == metrics[0].max_live
+    assert rows[0]["optimal"] in ("True", "False")
+
+
+def test_json_round_trip():
+    metrics = _metrics()
+    records = json.loads(to_json(metrics))
+    assert len(records) == 4
+    assert records[0]["name"] == metrics[0].name
+    assert records[0]["pressure_gap"] == metrics[0].pressure_gap
+
+
+def test_file_writers(tmp_path):
+    metrics = _metrics()
+    csv_path = tmp_path / "m.csv"
+    json_path = tmp_path / "m.json"
+    write_csv(metrics, str(csv_path))
+    write_json(metrics, str(json_path))
+    assert csv_path.read_text().startswith("name,")
+    assert json.loads(json_path.read_text())

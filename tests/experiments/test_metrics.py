@@ -1,0 +1,67 @@
+"""Unit tests for metric records and quantiles."""
+
+from repro.experiments import LoopMetrics, percentile, quantile_row
+
+
+def _metric(**overrides):
+    base = dict(
+        name="loop",
+        klass="neither",
+        n_basic_blocks=1,
+        n_ops=10,
+        n_critical_ops_at_mii=2,
+        n_recurrence_ops=0,
+        n_div_ops=0,
+        rec_mii=1,
+        res_mii=3,
+        mii=3,
+        min_avg_at_mii=8,
+        gprs=2,
+        success=True,
+        ii=3,
+        span=12,
+        stages=4,
+        max_live=10,
+        min_avg=8,
+        icr=3,
+        attempts=1,
+        placements=10,
+        forced=0,
+        ejections=0,
+        mindist_seconds=0.0,
+        scheduling_seconds=0.0,
+        recmii_seconds=0.0,
+    )
+    base.update(overrides)
+    return LoopMetrics(**base)
+
+
+def test_optimal_flag():
+    assert _metric(ii=3, mii=3).optimal
+    assert not _metric(ii=4, mii=3).optimal
+    assert not _metric(success=False).optimal
+
+
+def test_pressure_gap():
+    assert _metric(max_live=12, min_avg=8).pressure_gap == 4
+    assert _metric(max_live=8, min_avg=8).pressure_gap == 0
+
+
+def test_backtracked():
+    assert not _metric(ejections=0).backtracked
+    assert _metric(ejections=3).backtracked
+
+
+def test_percentile_nearest_rank():
+    values = sorted([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+    assert percentile(values, 0.0) == 1
+    assert percentile(values, 0.5) == 6
+    assert percentile(values, 0.9) == 10
+    assert percentile([], 0.5) == 0.0
+
+
+def test_quantile_row():
+    low, median, p90, high = quantile_row([5, 1, 3, 2, 4])
+    assert (low, high) == (1, 5)
+    assert median == 3
+    assert quantile_row([]) == (0.0, 0.0, 0.0, 0.0)

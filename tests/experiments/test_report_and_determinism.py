@@ -1,0 +1,84 @@
+"""Full-report assembly, determinism, and corpus-calibration guards."""
+
+import statistics
+
+import pytest
+
+from repro.experiments import full_report, measure_loop, run_corpus
+from repro.machine import cydra5
+from repro.workloads import paper_corpus
+
+MACHINE = cydra5()
+
+
+def test_full_report_contains_every_artifact():
+    text = full_report(20, seed=5)
+    for marker in (
+        "Table 2",
+        "Table 3",
+        "Table 4",
+        "Section 6",
+        "Figure 5",
+        "Figure 6",
+        "Figure 7",
+        "Figure 8",
+    ):
+        assert marker in text
+
+
+def test_scheduling_is_deterministic():
+    """Two runs over the same corpus must agree metric for metric."""
+    loops = paper_corpus(25, seed=77)
+    first = run_corpus(loops, MACHINE, algorithm="slack")
+    second = run_corpus(loops, MACHINE, algorithm="slack")
+    for a, b in zip(first, second):
+        assert a.name == b.name
+        assert a.ii == b.ii
+        assert a.max_live == b.max_live
+        assert a.placements == b.placements
+        assert a.ejections == b.ejections
+
+
+def test_corpus_is_deterministic_across_builds():
+    a = paper_corpus(40, seed=3)
+    b = paper_corpus(40, seed=3)
+    assert [p.name for p in a] == [p.name for p in b]
+    assert all(x.body == y.body for x, y in zip(a, b))
+
+
+@pytest.fixture(scope="module")
+def calibration_metrics():
+    return run_corpus(paper_corpus(300, seed=1993), MACHINE, algorithm="slack")
+
+
+def test_corpus_class_mix_matches_table3(calibration_metrics):
+    """Generator calibration guard: Table 3's class proportions."""
+    counts = {"conditional": 0, "recurrence": 0, "both": 0, "neither": 0}
+    for metric in calibration_metrics:
+        counts[metric.klass] += 1
+    total = len(calibration_metrics)
+    # Paper: 10.9% / 22.5% / 5.6% / 61.0% — allow generous slack.
+    assert 0.05 <= counts["conditional"] / total <= 0.20
+    assert 0.14 <= counts["recurrence"] / total <= 0.32
+    assert 0.02 <= counts["both"] / total <= 0.12
+    assert 0.50 <= counts["neither"] / total <= 0.72
+
+
+def test_corpus_op_counts_match_table2_shape(calibration_metrics):
+    """Table 2 guard: op counts stay long-tailed around the paper's."""
+    ops = sorted(m.n_ops for m in calibration_metrics)
+    median = statistics.median(ops)
+    p90 = ops[int(0.9 * len(ops))]
+    assert 8 <= median <= 25  # paper: 13
+    assert 25 <= p90 <= 60  # paper: 33
+    assert ops[-1] >= 60  # a real tail exists
+
+
+def test_corpus_optimality_matches_paper_headline(calibration_metrics):
+    optimal = sum(1 for m in calibration_metrics if m.optimal)
+    assert optimal / len(calibration_metrics) >= 0.93  # paper: 96%
+
+
+def test_divider_loops_are_rare(calibration_metrics):
+    with_div = sum(1 for m in calibration_metrics if m.n_div_ops > 0)
+    assert with_div / len(calibration_metrics) <= 0.25  # paper: ~<10%

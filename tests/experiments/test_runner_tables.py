@@ -1,0 +1,158 @@
+"""Integration tests for the corpus runner and table/figure generation."""
+
+import pytest
+
+from repro.experiments import (
+    binned_percentages,
+    classify,
+    cumulative_at,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    measure_loop,
+    render_histogram,
+    run_corpus,
+    section6_effort,
+    table2,
+    table3,
+    table4,
+)
+from repro.frontend import compile_loop
+from repro.ir import build_ddg
+from repro.machine import cydra5
+from repro.workloads import named_kernels, paper_corpus
+from repro.workloads.livermore import (
+    kernel3_inner_product,
+    kernel5_tridiag,
+    kernel15_casual,
+    kernel16_monte_carlo,
+)
+
+MACHINE = cydra5()
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    loops = paper_corpus(40, seed=17)
+    new = run_corpus(loops, MACHINE, algorithm="slack")
+    old = run_corpus(loops, MACHINE, algorithm="cydrome")
+    return new, old
+
+
+def test_measure_loop_records_consistent_fields():
+    metrics = measure_loop(kernel3_inner_product(), MACHINE)
+    assert metrics.success
+    assert metrics.mii == max(metrics.rec_mii, metrics.res_mii)
+    assert metrics.ii >= metrics.mii
+    assert metrics.n_ops > 0
+    assert metrics.max_live >= 1
+    assert metrics.placements >= metrics.n_ops
+
+
+def test_classification_of_known_kernels():
+    cases = [
+        (kernel3_inner_product(), "neither"),  # plain reduction
+        (kernel5_tridiag(), "recurrence"),
+        (kernel15_casual(), "conditional"),
+        (kernel16_monte_carlo(), "both"),
+    ]
+    for program, expected in cases:
+        loop = compile_loop(program)
+        ddg = build_ddg(loop, MACHINE)
+        from repro.bounds import recmii
+
+        assert classify(loop, ddg, recmii(ddg)) == expected, program.name
+
+
+def test_run_corpus_covers_all_loops(small_run):
+    new, _ = small_run
+    assert len(new) == 40
+    assert all(m.success for m in new)
+
+
+def test_table2_contains_all_rows(small_run):
+    new, _ = small_run
+    text = table2(new)
+    for row in (
+        "# Basic Blocks",
+        "# Operations",
+        "# Critical Ops at MII",
+        "# Ops on Recurrences",
+        "# Div/Mod/Sqrt Ops",
+        "RecMII",
+        "ResMII",
+        "MII",
+        "MinAvg at MII",
+        "# GPRs",
+    ):
+        assert row in text
+
+
+def test_table3_and_table4_structure(small_run):
+    new, old = small_run
+    for text in (table3(new), table4(old)):
+        assert "Has Conditional" in text
+        assert "Has Neither" in text
+        assert "All Loops" in text
+        assert "II > MII" in text
+
+
+def test_table3_totals_add_up(small_run):
+    new, _ = small_run
+    text = table3(new)
+    all_line = next(line for line in text.splitlines() if line.startswith("All Loops"))
+    parts = all_line.split()
+    optimal, total = int(parts[2]), int(parts[3])
+    assert total == 40
+    assert optimal == sum(1 for m in new if m.optimal)
+
+
+def test_section6_report(small_run):
+    new, _ = small_run
+    text = section6_effort(new)
+    assert "central-loop iterations" in text
+    assert "operations ejected" in text
+    assert "RecMII" in text and "MinDist" in text
+
+
+def test_figures_render(small_run):
+    new, old = small_run
+    for text in (figure5(new, old), figure6(new, old), figure7(new, old), figure8(new)):
+        assert "%" in text
+        assert "Figure" in text
+
+
+def test_binned_percentages_sum_to_100():
+    series = binned_percentages([0, 1, 5, 9, 50, 200], bin_width=4, max_bin=96)
+    assert sum(pct for _, pct in series) == pytest.approx(100.0)
+    assert series[-1][0] == ">=96"
+
+
+def test_binned_percentages_handles_negatives_and_empty():
+    series = binned_percentages([-3, 0, 1], bin_width=2, max_bin=8)
+    assert series[0][1] == pytest.approx(100.0)
+    assert binned_percentages([]) == []
+
+
+def test_cumulative_at():
+    assert cumulative_at([1, 2, 3, 4], 2) == 50.0
+    assert cumulative_at([], 10) == 0.0
+
+
+def test_render_histogram_scales_bars():
+    text = render_histogram("T", {"s": [("0-1", 100.0), ("2-3", 50.0)]}, width=10)
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[2].count("#") == 10
+    assert lines[3].count("#") == 5
+
+
+def test_pressure_ordering_slack_beats_unidirectional():
+    """§7: the bidirectional heuristic is what reduces pressure."""
+    loops = [p for p in named_kernels()][:20]
+    slack = run_corpus(loops, MACHINE, algorithm="slack")
+    uni = run_corpus(loops, MACHINE, algorithm="unidirectional")
+    slack_total = sum(m.max_live for m in slack if m.success)
+    uni_total = sum(m.max_live for m in uni if m.success)
+    assert slack_total <= uni_total

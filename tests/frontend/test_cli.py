@@ -1,0 +1,90 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+loop clitest
+array x 60
+array y 60
+scalar s 0.0
+liveout s
+do i = 2, 21
+    x(i) = x(i-1) * 0.5 + y(i)
+    s = s + x(i)
+end do
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "loop.txt"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_demo_runs(capsys):
+    assert main(["--demo"]) == 0
+    out = capsys.readouterr().out
+    assert "MII=" in out and "scheduled at II=" in out
+
+
+def test_schedule_from_file(source_file, capsys):
+    assert main([source_file]) == 0
+    out = capsys.readouterr().out
+    assert "clitest" in out
+    assert "register pressure" in out
+
+
+def test_emit_and_simulate(source_file, capsys):
+    assert main([source_file, "--emit", "--simulate"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel-only code" in out
+    assert "matches sequential" in out
+
+
+def test_dump_ir(source_file, capsys):
+    assert main([source_file, "--dump-ir"]) == 0
+    assert "brtop" in capsys.readouterr().out
+
+
+def test_algorithm_selection(source_file, capsys):
+    assert main([source_file, "--algorithm", "cydrome"]) == 0
+
+
+def test_load_latency_flag(source_file, capsys):
+    assert main([source_file, "--load-latency", "2", "--simulate"]) == 0
+
+
+def test_missing_file():
+    assert main(["/nonexistent/loop.txt"]) == 2
+
+
+def test_no_source():
+    assert main([]) == 2
+
+
+def test_parse_error_reported(tmp_path, capsys):
+    path = tmp_path / "bad.txt"
+    path.write_text("loop broken\n")
+    assert main([str(path)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_stdin_input(monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO(SOURCE))
+    assert main(["-"]) == 0
+
+
+def test_paper_report_flag(capsys):
+    assert main(["--paper-report", "25"]) == 0
+    out = capsys.readouterr().out
+    for marker in ("Table 2", "Table 3", "Table 4", "Figure 5", "Figure 8", "Section 6"):
+        assert marker in out
+
+
+def test_warp_algorithm_via_cli(source_file):
+    assert main([source_file, "--algorithm", "warp"]) == 0

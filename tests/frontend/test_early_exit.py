@@ -1,0 +1,182 @@
+"""Tests for early-exit loops (the §6 experimental feature, rebuilt).
+
+The schema: a loop-carried live predicate, ANDed with NOT(exit
+condition) each iteration, gates every store and scalar merge; post-exit
+iterations execute speculatively and are squashed — so the software
+pipeline never needs to stop issuing early.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import generate_kernel
+from repro.core import modulo_schedule, validate_schedule
+from repro.frontend import (
+    ArrayRef,
+    Assign,
+    Const,
+    DoLoop,
+    ExitIf,
+    If,
+    Scalar,
+    compile_loop,
+)
+from repro.frontend.parser import parse_loop
+from repro.ir import DType, Opcode, build_ddg
+from repro.machine import cydra5
+from repro.regalloc import allocate_registers
+from repro.simulator import initial_state, run_pipelined, run_sequential
+from repro.simulator.vliw import run_vliw
+
+MACHINE = cydra5()
+
+
+def _search_loop(threshold=8.0, trip=40):
+    return DoLoop(
+        "search",
+        body=[
+            Assign(Scalar("s"), Scalar("s") + ArrayRef("x")),
+            ExitIf(Scalar("s") > Const(threshold)),
+            Assign(ArrayRef("z"), ArrayRef("x") * 2.0),
+        ],
+        arrays={"x": 60, "z": 60},
+        scalars={"s": 0.0},
+        live_out=["s"],
+        trip=trip,
+    )
+
+
+def _assert_all_levels_agree(program):
+    loop = compile_loop(program)
+    ddg = build_ddg(loop, MACHINE)
+    result = modulo_schedule(loop, MACHINE, ddg=ddg)
+    assert result.success
+    assert validate_schedule(result.schedule, ddg) == []
+    sequential = run_sequential(program, initial_state(program))
+    pipelined = run_pipelined(result.schedule, initial_state(program))
+    kernel = generate_kernel(result.schedule, allocate_registers(result.schedule, ddg))
+    register_level = run_vliw(kernel, initial_state(program))
+    for name in program.arrays:
+        for a, b, c in zip(
+            sequential.arrays[name], pipelined.arrays[name], register_level.arrays[name]
+        ):
+            assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9), name
+            assert math.isclose(a, c, rel_tol=1e-9, abs_tol=1e-9), name
+    for name in program.live_out:
+        assert math.isclose(
+            sequential.scalars[name], pipelined.scalars[name], rel_tol=1e-9
+        )
+        assert math.isclose(
+            sequential.scalars[name], register_level.scalars[name], rel_tol=1e-9
+        )
+    return loop, result
+
+
+def test_exit_loop_compiles_with_live_chain():
+    loop, _ = _assert_all_levels_agree(_search_loop())
+    assert loop.meta["has_early_exit"]
+    # The live predicate is a loop-carried AND chain in the ICR file.
+    live_defs = [
+        op for op in loop.real_ops
+        if op.opcode is Opcode.AND_B and op.dest is not None
+        and op.dest.dtype is DType.PRED
+        and any(o.value is op.dest and o.back == 1 for o in op.operands)
+    ]
+    assert live_defs, "no loop-carried live predicate found"
+    # Stores are gated by the live chain.
+    stores = [op for op in loop.real_ops if op.is_store]
+    assert all(op.predicate is not None for op in stores)
+
+
+def test_sequential_stops_at_exit():
+    program = _search_loop()
+    state = initial_state(program)
+    x = state.arrays["x"]
+    final = run_sequential(program, state)
+    # The exit fires once the prefix sum passes the threshold: z is only
+    # written for iterations before the exit (the exit iteration itself
+    # skips the statements after ExitIf).
+    running, exit_at = 0.0, None
+    for k in range(program.trip):
+        running += x[program.start + k]
+        if running > 8.0:
+            exit_at = k
+            break
+    assert exit_at is not None
+    untouched = initial_state(program).arrays["z"]
+    for k in range(exit_at, program.trip):
+        assert final.arrays["z"][program.start + k] == untouched[program.start + k]
+
+
+def test_exit_that_never_fires_matches_plain_loop():
+    program = _search_loop(threshold=1e9)
+    _assert_all_levels_agree(program)
+    sequential = run_sequential(program, initial_state(program))
+    plain = DoLoop(
+        "plain",
+        body=[
+            Assign(Scalar("s"), Scalar("s") + ArrayRef("x")),
+            Assign(ArrayRef("z"), ArrayRef("x") * 2.0),
+        ],
+        arrays={"x": 60, "z": 60},
+        scalars={"s": 0.0},
+        live_out=["s"],
+        trip=40,
+    )
+    reference = run_sequential(plain, initial_state(plain))
+    assert sequential.scalars["s"] == pytest.approx(reference.scalars["s"])
+
+
+def test_exit_inside_conditional():
+    program = DoLoop(
+        "condexit",
+        body=[
+            If(
+                ArrayRef("x") > Const(1.3),
+                then=[ExitIf(ArrayRef("y") > Const(0.6))],
+            ),
+            Assign(Scalar("n"), Scalar("n") + 1.0),
+        ],
+        arrays={"x": 60, "y": 60},
+        scalars={"n": 0.0},
+        live_out=["n"],
+        trip=40,
+    )
+    _assert_all_levels_agree(program)
+
+
+def test_exit_on_first_iteration():
+    program = _search_loop(threshold=-1.0)  # fires immediately
+    _assert_all_levels_agree(program)
+    sequential = run_sequential(program, initial_state(program))
+    # s was updated once (the statement precedes the exit check).
+    state = initial_state(program)
+    assert sequential.scalars["s"] == pytest.approx(
+        state.arrays["x"][program.start]
+    )
+
+
+def test_parser_exit_syntax():
+    program = parse_loop(
+        """
+        loop psearch
+        array x 60
+        scalar s 0.0
+        liveout s
+        do i = 2, 41
+            s = s + x(i)
+            if (s > 8.0) exit
+        end do
+        """
+    )
+    assert any(isinstance(stmt, ExitIf) for stmt in program.body)
+    _assert_all_levels_agree(program)
+
+
+@given(st.floats(min_value=0.5, max_value=60.0), st.integers(min_value=2, max_value=30))
+@settings(max_examples=15, deadline=None)
+def test_exit_thresholds_property(threshold, trip):
+    _assert_all_levels_agree(_search_loop(threshold=threshold, trip=trip))

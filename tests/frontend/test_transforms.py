@@ -1,0 +1,118 @@
+"""Unit tests for loop unrolling (the §3.1 fractional-MII transform)."""
+
+import pytest
+
+from repro.core import modulo_schedule
+from repro.frontend import ArrayRef, Assign, DoLoop, Gather, If, Index, Scalar, compile_loop
+from repro.frontend.transforms import UnrollError, unroll
+from repro.machine import cydra5
+from repro.simulator import initial_state, run_sequential
+
+MACHINE = cydra5()
+
+
+def _fractional_loop(trip=24):
+    """x(i) = x(i-2)*c + y(i): circuit latency 3 over distance 2, so the
+    exact minimum II is 3/2 but MII rounds up to 2."""
+    return DoLoop(
+        "frac",
+        body=[Assign(ArrayRef("x"), ArrayRef("x", -2) * Scalar("c") + ArrayRef("y"))],
+        arrays={"x": 80, "y": 80},
+        scalars={"c": 0.5},
+        trip=trip,
+    )
+
+
+def _assert_same_semantics(original, transformed):
+    a = run_sequential(original, initial_state(original))
+    b = run_sequential(transformed, initial_state(transformed))
+    for name in original.arrays:
+        for x, y in zip(a.arrays[name], b.arrays[name]):
+            assert abs(x - y) < 1e-9
+    for name in original.live_out:
+        assert abs(a.scalars[name] - b.scalars[name]) < 1e-9
+
+
+def test_factor_one_is_identity():
+    program = _fractional_loop()
+    assert unroll(program, 1) is program
+
+
+def test_invalid_factors_rejected():
+    with pytest.raises(UnrollError):
+        unroll(_fractional_loop(), 0)
+    with pytest.raises(UnrollError):
+        unroll(_fractional_loop(trip=25), 2)  # 25 % 2 != 0
+
+
+def test_unroll_preserves_semantics():
+    program = _fractional_loop()
+    _assert_same_semantics(program, unroll(program, 2))
+    _assert_same_semantics(program, unroll(program, 4))
+
+
+def test_unroll_preserves_scalar_recurrences():
+    program = DoLoop(
+        "acc",
+        body=[Assign(Scalar("s"), Scalar("s") + ArrayRef("x") * ArrayRef("x", -1))],
+        arrays={"x": 80},
+        scalars={"s": 0.0},
+        live_out=["s"],
+        trip=24,
+    )
+    _assert_same_semantics(program, unroll(program, 2))
+    _assert_same_semantics(program, unroll(program, 3))
+
+
+def test_unroll_preserves_conditionals_and_index():
+    program = DoLoop(
+        "condidx",
+        body=[
+            If(
+                ArrayRef("x") > 1.0,
+                then=[Assign(Scalar("s"), Scalar("s") + Index() * 0.5)],
+                orelse=[Assign(ArrayRef("z"), ArrayRef("x"))],
+            )
+        ],
+        arrays={"x": 80, "z": 80},
+        scalars={"s": 0.0},
+        live_out=["s"],
+        trip=24,
+    )
+    _assert_same_semantics(program, unroll(program, 2))
+
+
+def test_unroll_preserves_gathers():
+    program = DoLoop(
+        "gat",
+        body=[Assign(ArrayRef("z"), Gather("v", Index()))],
+        arrays={"v": 120, "z": 120},
+        trip=24,
+    )
+    _assert_same_semantics(program, unroll(program, 2))
+
+
+def test_unroll_recovers_fractional_mii():
+    """The paper's 3/2 example: unrolling once schedules 2 iterations in
+    3 cycles instead of 2 cycles each."""
+    program = _fractional_loop()
+    base = modulo_schedule(compile_loop(program), MACHINE)
+    assert base.rec_mii == 2  # ceil(3/2)
+    unrolled = modulo_schedule(compile_loop(unroll(program, 2)), MACHINE)
+    assert unrolled.success and base.success
+    per_iteration_base = base.ii
+    per_iteration_unrolled = unrolled.ii / 2
+    assert per_iteration_unrolled < per_iteration_base
+    assert per_iteration_unrolled == pytest.approx(1.5)
+
+
+def test_unrolled_loops_still_pipeline_correctly():
+    from repro.simulator import run_pipelined
+
+    program = unroll(_fractional_loop(), 2)
+    loop = compile_loop(program)
+    result = modulo_schedule(loop, MACHINE)
+    sequential = run_sequential(program, initial_state(program))
+    pipelined = run_pipelined(result.schedule, initial_state(program))
+    for x, y in zip(sequential.arrays["x"], pipelined.arrays["x"]):
+        assert abs(x - y) < 1e-9

@@ -1,0 +1,103 @@
+"""Unit tests for the modulo resource table."""
+
+import pytest
+
+from repro.ir import DType, LoopBody, Opcode, Operand
+from repro.machine import ModuloResourceTable
+
+from tests.conftest import build_divider_loop, build_figure1_loop
+
+
+def _mrt(machine, loop, ii):
+    return ModuloResourceTable(machine, ii, machine.bind_units(loop))
+
+
+def test_place_and_conflict_same_row(machine):
+    loop = build_figure1_loop()
+    mrt = _mrt(machine, loop, 2)
+    adds = [op for op in loop.real_ops if op.opcode is Opcode.ADD_F]
+    mrt.place(adds[0], 0)
+    # Second float add bound to the single Adder conflicts at 0 and 2 (mod 2).
+    assert not mrt.fits(adds[1], 0)
+    assert not mrt.fits(adds[1], 2)
+    assert mrt.fits(adds[1], 1)
+    assert mrt.conflicts(adds[1], 2) == [adds[0].oid]
+
+
+def test_modulo_wraparound(machine):
+    loop = build_figure1_loop()
+    mrt = _mrt(machine, loop, 3)
+    adds = [op for op in loop.real_ops if op.opcode is Opcode.ADD_F]
+    mrt.place(adds[0], 7)  # row 1
+    assert not mrt.fits(adds[1], 1)
+    assert not mrt.fits(adds[1], 4)
+    assert mrt.fits(adds[1], 0)
+
+
+def test_remove_releases_reservation(machine):
+    loop = build_figure1_loop()
+    mrt = _mrt(machine, loop, 2)
+    adds = [op for op in loop.real_ops if op.opcode is Opcode.ADD_F]
+    mrt.place(adds[0], 0)
+    mrt.remove(adds[0], 0)
+    assert mrt.occupancy() == 0
+    assert mrt.fits(adds[1], 0)
+
+
+def test_double_place_raises(machine):
+    loop = build_figure1_loop()
+    mrt = _mrt(machine, loop, 2)
+    adds = [op for op in loop.real_ops if op.opcode is Opcode.ADD_F]
+    mrt.place(adds[0], 0)
+    with pytest.raises(ValueError):
+        mrt.place(adds[1], 2)
+
+
+def test_divider_footprint_spans_full_latency(machine):
+    loop = build_divider_loop()
+    mrt = _mrt(machine, loop, 20)
+    div = next(op for op in loop.real_ops if op.opcode is Opcode.DIV_F)
+    mrt.place(div, 2)
+    assert mrt.occupancy() == 17
+
+
+def test_divider_longer_than_ii_self_conflicts(machine):
+    loop = build_divider_loop()
+    mrt = _mrt(machine, loop, 10)
+    div = next(op for op in loop.real_ops if op.opcode is Opcode.DIV_F)
+    assert mrt.conflicts(div, 0) == [-1]
+
+
+def test_two_divides_conflict_when_windows_overlap(machine):
+    loop = LoopBody("twodiv")
+    c = loop.invariant("c", DType.FLOAT)
+    v1 = loop.new_value("v1", DType.FLOAT)
+    v2 = loop.new_value("v2", DType.FLOAT)
+    loop.add_op(Opcode.DIV_F, v1, [Operand(c), Operand(c)])
+    loop.add_op(Opcode.DIV_F, v2, [Operand(c), Operand(c)])
+    loop.finalize()
+    mrt = _mrt(machine, loop, 40)
+    divs = [op for op in loop.real_ops if op.opcode is Opcode.DIV_F]
+    mrt.place(divs[0], 0)
+    assert not mrt.fits(divs[1], 10)  # inside the 17-cycle window
+    assert not mrt.fits(divs[1], 39)  # wraps into cycle 0..16? no: 39..15
+    assert mrt.fits(divs[1], 17)
+
+
+def test_pseudo_ops_need_no_resources(machine):
+    loop = build_figure1_loop()
+    mrt = _mrt(machine, loop, 2)
+    mrt.place(loop.start, 0)
+    mrt.place(loop.stop, 5)
+    assert mrt.occupancy() == 0
+    assert mrt.fits(loop.start, 0)
+
+
+def test_render_shows_occupants(machine):
+    loop = build_figure1_loop()
+    mrt = _mrt(machine, loop, 2)
+    adds = [op for op in loop.real_ops if op.opcode is Opcode.ADD_F]
+    mrt.place(adds[0], 1)
+    text = mrt.render()
+    assert "Adder[0]" in text
+    assert str(adds[0].oid) in text

@@ -1,0 +1,63 @@
+"""Unit tests for rotating and static register files."""
+
+import pytest
+
+from repro.machine import RotatingFile, StaticFile
+
+
+def test_rotation_shifts_specifiers():
+    """Figure 2: after one rotation, yesterday's r0 is today's r1."""
+    rr = RotatingFile("RR", 8)
+    rr.write(0, 42.0)
+    rr.rotate()
+    assert rr.read(1) == 42.0
+    assert rr.read(0) is None
+
+
+def test_repeated_rotation_models_shift_register():
+    rr = RotatingFile("RR", 6)
+    for iteration in range(4):
+        rr.write(0, float(iteration))
+        rr.rotate()
+    # Values written k rotations ago are now at specifier k.
+    assert [rr.read(k) for k in range(1, 5)] == [3.0, 2.0, 1.0, 0.0]
+
+
+def test_rotation_wraps_circularly():
+    rr = RotatingFile("RR", 4)
+    rr.write(0, 1.0)
+    for _ in range(4):
+        rr.rotate()
+    assert rr.read(0) == 1.0  # full revolution: same physical register
+
+
+def test_physical_addressing():
+    rr = RotatingFile("RR", 4)
+    rr.rotate()  # icp = 3
+    rr.write(0, 9.0)
+    assert rr.read_physical(3) == 9.0
+    rr.write_physical(2, 7.0)
+    assert rr.read(3) == 7.0  # (3 + 3) mod 4 == 2
+
+
+def test_reset_clears_cells_and_icp():
+    rr = RotatingFile("RR", 4)
+    rr.write(0, 1.0)
+    rr.rotate()
+    rr.reset()
+    assert rr.icp == 0
+    assert all(rr.read(i) is None for i in range(4))
+
+
+def test_static_file_read_write():
+    gpr = StaticFile("GPR", 8)
+    gpr.write(3, 2.5)
+    assert gpr.read(3) == 2.5
+    gpr.reset()
+    assert gpr.read(3) is None
+
+
+@pytest.mark.parametrize("cls", [RotatingFile, StaticFile])
+def test_zero_size_rejected(cls):
+    with pytest.raises(ValueError):
+        cls("bad", 0)

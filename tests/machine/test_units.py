@@ -1,0 +1,76 @@
+"""Table 1 of the paper, checked verbatim against the machine model."""
+
+import pytest
+
+from repro.ir import Opcode
+from repro.machine import cydra5, table1_units
+
+
+@pytest.mark.parametrize(
+    "opcode,latency",
+    [
+        (Opcode.LOAD, 13),
+        (Opcode.STORE, 1),
+        (Opcode.ADDR_ADD, 1),
+        (Opcode.ADDR_SUB, 1),
+        (Opcode.ADDR_MUL, 1),
+        (Opcode.ADD_I, 1),
+        (Opcode.SUB_I, 1),
+        (Opcode.ADD_F, 1),
+        (Opcode.SUB_F, 1),
+        (Opcode.MUL_I, 2),
+        (Opcode.MUL_F, 2),
+        (Opcode.DIV_I, 17),
+        (Opcode.DIV_F, 17),
+        (Opcode.MOD_I, 17),
+        (Opcode.SQRT_F, 21),
+        (Opcode.BRTOP, 2),
+    ],
+)
+def test_table1_latencies(machine, opcode, latency):
+    assert machine.unit_class(opcode).latency(opcode) == latency
+
+
+@pytest.mark.parametrize(
+    "name,count",
+    [
+        ("Memory Port", 2),
+        ("Address ALU", 2),
+        ("Adder", 1),
+        ("Multiplier", 1),
+        ("Divider", 1),
+        ("Branch Unit", 1),
+    ],
+)
+def test_table1_unit_counts(machine, name, count):
+    unit = next(u for u in machine.unit_classes if u.name == name)
+    assert unit.count == count
+
+
+def test_only_divider_is_unpipelined(machine):
+    for unit in machine.unit_classes:
+        assert unit.pipelined == (unit.name != "Divider")
+
+
+def test_divider_busy_cycles_equal_latency(machine):
+    divider = next(u for u in machine.unit_classes if u.name == "Divider")
+    assert divider.busy_cycles(Opcode.DIV_F) == 17
+    assert divider.busy_cycles(Opcode.SQRT_F) == 21
+
+
+def test_pipelined_units_busy_one_cycle(machine):
+    memory = next(u for u in machine.unit_classes if u.name == "Memory Port")
+    assert memory.busy_cycles(Opcode.LOAD) == 1
+
+
+def test_memory_latency_register():
+    """§2.1: the compiler chooses the load latency it schedules for."""
+    fast = cydra5(load_latency=2)
+    assert fast.unit_class(Opcode.LOAD).latency(Opcode.LOAD) == 2
+
+
+def test_unknown_opcode_for_unit_raises():
+    units = table1_units()
+    adder = next(u for u in units if u.name == "Adder")
+    with pytest.raises(KeyError):
+        adder.latency(Opcode.LOAD)

@@ -1,0 +1,100 @@
+"""Unit tests for the pipelined dataflow executor."""
+
+import pytest
+
+from repro.core import modulo_schedule
+from repro.frontend import ArrayRef, Assign, DoLoop, Scalar, compile_loop
+from repro.machine import cydra5
+from repro.simulator import MachineState, SimulationError, initial_state, run_pipelined
+from repro.simulator.state import seeded_value
+
+from tests.conftest import build_figure1_loop
+
+MACHINE = cydra5()
+
+
+def _scheduled(program, **kwargs):
+    loop = compile_loop(program, **kwargs)
+    result = modulo_schedule(loop, MACHINE)
+    assert result.success
+    return result.schedule
+
+
+def test_live_in_values_come_from_initial_arrays():
+    """Loop-carried uses in the first iterations read pre-loop memory."""
+    program = DoLoop(
+        "carried",
+        body=[Assign(ArrayRef("x"), ArrayRef("x", -2) + 1.0)],
+        arrays={"x": 30},
+        start=2,
+        trip=6,
+    )
+    schedule = _scheduled(program)
+    state = initial_state(program)
+    x0, x1 = state.arrays["x"][0], state.arrays["x"][1]
+    final = run_pipelined(schedule, state)
+    assert final.arrays["x"][2] == pytest.approx(x0 + 1.0)
+    assert final.arrays["x"][3] == pytest.approx(x1 + 1.0)
+    assert final.arrays["x"][4] == pytest.approx(x0 + 2.0)
+
+
+def test_live_in_scalars_come_from_initial_bindings():
+    program = DoLoop(
+        "acc",
+        body=[Assign(Scalar("s"), Scalar("s") + 1.0)],
+        scalars={"s": 10.0},
+        live_out=["s"],
+        trip=4,
+    )
+    schedule = _scheduled(program)
+    final = run_pipelined(schedule, initial_state(program))
+    assert final.scalars["s"] == pytest.approx(14.0)
+
+
+def test_trip_override_and_bad_trip():
+    program = DoLoop(
+        "short",
+        body=[Assign(Scalar("s"), Scalar("s") + 1.0)],
+        scalars={"s": 0.0},
+        live_out=["s"],
+        trip=10,
+    )
+    schedule = _scheduled(program)
+    final = run_pipelined(schedule, initial_state(program), trip=3)
+    assert final.scalars["s"] == 3.0
+    with pytest.raises(ValueError):
+        run_pipelined(schedule, initial_state(program), trip=0)
+
+
+def test_missing_origin_raises_without_init_fn():
+    loop = build_figure1_loop()  # hand-built IR: values have no origins
+    loop.meta["trip"] = 4
+    result = modulo_schedule(loop, MACHINE)
+    state = MachineState(arrays={"x": [0.0] * 20, "y": [0.0] * 20}, scalars={})
+    with pytest.raises(SimulationError):
+        run_pipelined(result.schedule, state)
+
+
+def test_init_fn_supplies_live_ins():
+    loop = build_figure1_loop()
+    loop.meta["trip"] = 4
+    result = modulo_schedule(loop, MACHINE)
+    state = MachineState(arrays={"x": [0.0] * 20, "y": [0.0] * 20}, scalars={})
+
+    def init_fn(value, iteration):
+        return 1.0  # every live-in value is 1.0
+
+    final = run_pipelined(result.schedule, state, init_fn=init_fn)
+    # x_k = x_{k-1} + y_{k-2}: with all live-ins 1.0 -> 2, 3, 5, 8 pattern
+    # The store address IV also uses init_fn (returns 1.0), so stores land
+    # at elements 2, 3, 4, 5; just check something was written.
+    assert any(v != 0.0 for v in final.arrays["x"])
+
+
+def test_seeded_values_are_deterministic_and_bounded():
+    a = seeded_value("x", 3, seed=0)
+    b = seeded_value("x", 3, seed=0)
+    c = seeded_value("x", 4, seed=0)
+    assert a == b
+    assert a != c
+    assert 0.5 <= a < 1.5

@@ -1,0 +1,126 @@
+"""The central correctness property of the whole system:
+
+    compile -> modulo schedule -> pipelined execution
+        ==  sequential execution of the source loop
+
+for every scheduler, on the hand-written kernels and on randomly
+generated programs.  This exercises the front end (if-conversion,
+dependence analysis, load/store elimination), the bounds, the scheduler
+(including backtracking) and the executor together.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import modulo_schedule, validate_schedule
+from repro.frontend import compile_loop
+from repro.ir import build_ddg
+from repro.machine import cydra5
+from repro.simulator import initial_state, run_pipelined, run_sequential
+from repro.workloads import LoopGenerator, named_kernels
+
+MACHINE = cydra5()
+
+
+def _close(a: float, b: float) -> bool:
+    if isinstance(a, bool) or isinstance(b, bool):
+        return bool(a) == bool(b)
+    if math.isnan(a) and math.isnan(b):
+        return True
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= 1e-8 * max(1.0, abs(a), abs(b))
+
+
+def assert_equivalent(program, algorithm="slack", allow_failure=False, **compile_kwargs):
+    loop = compile_loop(program, **compile_kwargs)
+    ddg = build_ddg(loop, MACHINE)
+    result = modulo_schedule(loop, MACHINE, algorithm=algorithm, ddg=ddg)
+    if allow_failure and not result.success:
+        # Failing to pipeline is a legitimate outcome for the baselines
+        # (the paper's Cydrome runs failed on 14 loops, Table 4).
+        return result
+    assert result.success, f"{program.name}: no schedule found"
+    violations = validate_schedule(result.schedule, ddg)
+    assert not violations, f"{program.name}: {violations[:3]}"
+    sequential = run_sequential(program, initial_state(program))
+    pipelined = run_pipelined(result.schedule, initial_state(program))
+    for name in program.arrays:
+        for position, (a, b) in enumerate(
+            zip(sequential.arrays[name], pipelined.arrays[name])
+        ):
+            assert _close(a, b), (
+                f"{program.name}: {name}[{position}] = {a} sequential vs {b} pipelined"
+            )
+    for name in program.live_out:
+        a, b = sequential.scalars[name], pipelined.scalars[name]
+        assert _close(a, b), f"{program.name}: scalar {name} = {a} vs {b}"
+    return result
+
+
+@pytest.mark.parametrize("program", named_kernels(), ids=lambda p: p.name)
+def test_named_kernels_slack(program):
+    result = assert_equivalent(program, "slack")
+    assert result.optimal, f"{program.name} missed MII: {result.ii} > {result.mii}"
+
+
+@pytest.mark.parametrize("program", named_kernels()[:12], ids=lambda p: p.name)
+def test_named_kernels_cydrome(program):
+    assert_equivalent(program, "cydrome")
+
+
+@pytest.mark.parametrize("program", named_kernels()[:12], ids=lambda p: p.name)
+def test_named_kernels_unidirectional(program):
+    assert_equivalent(program, "unidirectional")
+
+
+@pytest.mark.parametrize("program", named_kernels()[:8], ids=lambda p: p.name)
+def test_named_kernels_without_elimination(program):
+    """The pipeline must stay correct with load/store elimination off."""
+    assert_equivalent(program, "slack", load_store_elimination=False, load_reuse=False)
+
+
+@st.composite
+def random_programs(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    klass = draw(st.sampled_from(["neither", "conditional", "recurrence", "both"]))
+    return LoopGenerator(seed).generate(f"hyp_{seed}_{klass}", klass)
+
+
+@given(random_programs())
+@settings(max_examples=40, deadline=None)
+def test_random_programs_slack(program):
+    assert_equivalent(program, "slack")
+
+
+@given(random_programs())
+@settings(max_examples=15, deadline=None)
+def test_random_programs_cydrome(program):
+    assert_equivalent(program, "cydrome", allow_failure=True)
+
+
+@given(random_programs())
+@settings(max_examples=15, deadline=None)
+def test_random_programs_unidirectional(program):
+    assert_equivalent(program, "unidirectional")
+
+
+@given(random_programs())
+@settings(max_examples=10, deadline=None)
+def test_random_programs_without_elimination(program):
+    assert_equivalent(program, "slack", load_store_elimination=False, load_reuse=False)
+
+
+@pytest.mark.parametrize("program", named_kernels()[:12], ids=lambda p: p.name)
+def test_named_kernels_height(program):
+    """The IMS-style height baseline must also be semantically exact."""
+    assert_equivalent(program, "height")
+
+
+@given(random_programs())
+@settings(max_examples=10, deadline=None)
+def test_random_programs_height(program):
+    assert_equivalent(program, "height")

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script must run cleanly."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run(script, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_quickstart():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "pipelined execution matches sequential: True" in result.stdout
+    assert "kernel-only code" in result.stdout
+
+
+def test_livermore_pipeline():
+    result = _run("livermore_pipeline.py")
+    assert result.returncode == 0, result.stderr
+    assert "ll1_hydro" in result.stdout
+    assert "total II" in result.stdout
+
+
+def test_register_pressure_study():
+    result = _run("register_pressure_study.py", "40")
+    assert result.returncode == 0, result.stderr
+    assert "bidirectional slack" in result.stdout
+    assert "load latency 27" in result.stdout
+
+
+def test_vliw_simulation():
+    result = _run("vliw_simulation.py")
+    assert result.returncode == 0, result.stderr
+    assert "register-level 'hi'" in result.stdout
+    # The register-level run must agree exactly with sequential.
+    assert "max |seq - register-level| over arrays = 0.00e+00" in result.stdout
+
+
+def test_straight_line_study():
+    result = _run("straight_line_study.py", "6")
+    assert result.returncode == 0, result.stderr
+    assert "total peak pressure" in result.stdout
+
+
+def test_mve_vs_rotating():
+    result = _run("mve_vs_rotating.py")
+    assert result.returncode == 0, result.stderr
+    assert "the expansion the rotating register file eliminates" in result.stdout
+
+
+def test_loop_language_files_pipeline():
+    import glob
+
+    from repro.cli import main as cli_main
+
+    files = sorted(glob.glob(os.path.join(EXAMPLES, "loops", "*.loop")))
+    assert len(files) >= 3
+    for path in files:
+        assert cli_main([path, "--simulate"]) == 0

@@ -1,0 +1,40 @@
+"""The README's quickstart snippet must work exactly as documented."""
+
+
+def test_readme_quickstart_snippet():
+    from repro.frontend import ArrayRef, Assign, DoLoop, compile_loop
+    from repro.machine import cydra5
+    from repro.core import modulo_schedule
+
+    program = DoLoop(
+        name="figure1", start=2, trip=40,
+        body=[
+            Assign(ArrayRef("x"), ArrayRef("x", -1) + ArrayRef("y", -2)),
+            Assign(ArrayRef("y"), ArrayRef("y", -1) + ArrayRef("x", -2)),
+        ],
+        arrays={"x": 60, "y": 60},
+    )
+    loop = compile_loop(program)
+    result = modulo_schedule(loop, cydra5())
+    assert (result.ii, result.mii, result.optimal) == (2, 2, True)
+    assert "II=2" in result.schedule.render()
+
+
+def test_package_docstring_example():
+    """The repro/__init__ docstring example."""
+    from repro import ArrayRef, Assign, DoLoop, compile_loop, cydra5, modulo_schedule
+
+    program = DoLoop(
+        "saxpy",
+        body=[Assign(ArrayRef("y"), ArrayRef("x") * 2.0 + ArrayRef("y"))],
+        arrays={"x": 32, "y": 32},
+    )
+    result = modulo_schedule(compile_loop(program), cydra5())
+    assert result.optimal
+
+
+def test_top_level_exports_resolve():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
