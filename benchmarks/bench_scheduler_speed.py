@@ -3,7 +3,16 @@
 These are conventional pytest-benchmark timings (multiple rounds) of
 scheduling single representative loops, complementing the one-shot
 corpus benchmarks: use them to track scheduler performance regressions.
+
+``test_trace_overhead`` is the observability guardrail: it schedules a
+Table-2-style corpus untraced, with the default :class:`NullTracer`
+(whose cost is one attribute test per decision), and with a full
+:class:`CollectingTracer` + metrics, asserts the NullTracer overhead
+stays under 5%, and publishes the numbers to
+``benchmarks/out/trace_overhead.txt``.
 """
+
+import time
 
 import pytest
 
@@ -11,8 +20,12 @@ from repro.core import modulo_schedule
 from repro.frontend import compile_loop
 from repro.ir import build_ddg
 from repro.machine import cydra5
+from repro.obs import NULL_TRACER, CollectingTracer, MetricsRegistry
+from repro.workloads import paper_corpus
 from repro.workloads.livermore import kernel7_state
 from repro.workloads.generator import LoopGenerator
+
+from _shared import publish
 
 MACHINE = cydra5()
 
@@ -55,3 +68,71 @@ def test_schedule_cydrome_medium(benchmark, medium_loop):
     loop, ddg = medium_loop
     result = benchmark(lambda: modulo_schedule(loop, MACHINE, algorithm="cydrome", ddg=ddg))
     assert result.success
+
+
+# ----------------------------------------------------------------------
+# Traced vs untraced: the NullTracer must be (nearly) free
+# ----------------------------------------------------------------------
+def _one_corpus_run(loops, **schedule_kwargs):
+    """Wall time of scheduling every pre-compiled loop once."""
+    started = time.perf_counter()
+    for loop, ddg in loops:
+        modulo_schedule(loop, MACHINE, ddg=ddg, **schedule_kwargs)
+    return time.perf_counter() - started
+
+
+def test_trace_overhead(benchmark):
+    loops = []
+    for program in paper_corpus(120, seed=1993):
+        loop = compile_loop(program)
+        loops.append((loop, build_ddg(loop, MACHINE)))
+
+    # Interleave the configurations within every round and compare
+    # *paired* per-round ratios (median over rounds), so machine noise
+    # and clock-frequency drift cannot masquerade as tracer overhead.
+    rounds = 7
+
+    def measure():
+        samples = []
+        for _ in range(rounds):
+            samples.append(
+                (
+                    _one_corpus_run(loops),
+                    _one_corpus_run(loops, tracer=NULL_TRACER),
+                    _one_corpus_run(
+                        loops, tracer=CollectingTracer(), metrics=MetricsRegistry()
+                    ),
+                )
+            )
+        return samples
+
+    _one_corpus_run(loops)  # warm caches
+    samples = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    def median(values):
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    untraced = min(s[0] for s in samples)
+    null_traced = min(s[1] for s in samples)
+    full_traced = min(s[2] for s in samples)
+    null_overhead = median(s[1] / s[0] for s in samples) - 1.0
+    full_overhead = median(s[2] / s[0] for s in samples) - 1.0
+    report = "\n".join(
+        [
+            f"trace overhead ({len(loops)}-loop corpus, {rounds} interleaved rounds,",
+            "best-of wall times and median paired per-round overhead)",
+            f"  untraced (no tracer argument):   {untraced * 1e3:8.1f} ms",
+            f"  NullTracer (the default):        {null_traced * 1e3:8.1f} ms "
+            f"({null_overhead:+.1%})",
+            f"  CollectingTracer + metrics:      {full_traced * 1e3:8.1f} ms "
+            f"({full_overhead:+.1%})",
+            "",
+            "invariant: the opt-out NullTracer path must stay within 5% of",
+            "the untraced scheduler (one attribute test per decision).",
+        ]
+    )
+    publish("trace_overhead", report)
+    assert null_overhead < 0.05, (
+        f"NullTracer overhead {null_overhead:.1%} exceeds the 5% budget"
+    )

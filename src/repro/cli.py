@@ -3,16 +3,24 @@
     python -m repro path/to/loop.txt
     python -m repro loop.txt --algorithm cydrome --emit --simulate
     python -m repro --demo            # runs the paper's Figure 1 sample
+    python -m repro --demo --trace t.jsonl --explain   # observability
 
 Prints lower bounds, the found schedule, register pressure against the
 MinAvg bound, optionally the generated kernel-only VLIW code, and
 optionally executes the pipeline to verify it against sequential
 semantics.
+
+Observability (all opt-in; the default run is quiet and untraced):
+``--trace PATH`` records every scheduler decision (``--trace-format``
+picks JSONL or Chrome trace-event JSON for chrome://tracing/Perfetto),
+``--explain`` prints a post-mortem of the scheduling run, and
+``--verbose`` enables stdlib-logging progress lines from the driver.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -23,6 +31,13 @@ from repro.frontend import compile_loop
 from repro.frontend.parser import ParseError, parse_loop
 from repro.ir import build_ddg
 from repro.machine import cydra5
+from repro.obs import (
+    CollectingTracer,
+    MetricsRegistry,
+    explain,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.regalloc import allocate_registers
 from repro.simulator import initial_state, run_pipelined, run_sequential
 
@@ -64,11 +79,42 @@ def build_argument_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="regenerate the paper's tables and figures over an N-loop corpus",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record every scheduler decision to PATH",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format: JSONL (replayable) or Chrome trace-event "
+        "JSON for chrome://tracing / Perfetto (default: jsonl)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a post-mortem of the scheduling run (attempts, "
+        "ejections, critical resource, MRT occupancy, lifetimes)",
+    )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="log scheduler progress to stderr (default is quiet)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress logging (the default; overrides --verbose)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_argument_parser().parse_args(argv)
+    level = logging.INFO if (args.verbose and not args.quiet) else logging.WARNING
+    logging.basicConfig(level=level, format="%(levelname)s %(name)s: %(message)s")
     if args.paper_report:
         from repro.experiments import full_report
 
@@ -102,13 +148,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(loop.dump())
         print()
 
-    result = modulo_schedule(loop, machine, algorithm=args.algorithm, ddg=ddg)
+    observing = bool(args.trace or args.explain)
+    tracer = CollectingTracer() if observing else None
+    metrics = MetricsRegistry() if observing else None
+    result = modulo_schedule(
+        loop, machine, algorithm=args.algorithm, ddg=ddg, tracer=tracer, metrics=metrics
+    )
+    if args.trace:
+        try:
+            if args.trace_format == "chrome":
+                write_chrome_trace(tracer.events, args.trace)
+            else:
+                write_jsonl(tracer.events, args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}", file=sys.stderr)
+            return 1
+        print(f"trace: {len(tracer.events)} events -> {args.trace} ({args.trace_format})")
     print(
         f"{loop.name}: ResMII={result.res_mii} RecMII={result.rec_mii} "
         f"MII={result.mii}"
     )
     if not result.success:
         print(f"FAILED to pipeline (last attempted II={result.last_attempted_ii})")
+        if args.explain:
+            print()
+            print(explain(result, tracer.events, metrics, ddg=ddg))
         return 1
     schedule = result.schedule
     print(
@@ -127,6 +191,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     bound = min_avg(loop, ddg, MinDist(ddg, schedule.ii), schedule.ii)
     print(f"register pressure: MaxLive={pressure} (MinAvg bound {bound})")
     print(schedule.render())
+
+    if args.explain:
+        print()
+        print(explain(result, tracer.events, metrics, ddg=ddg))
 
     if args.emit:
         assignment = allocate_registers(schedule, ddg)

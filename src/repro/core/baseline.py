@@ -40,8 +40,12 @@ class CydromeAttempt(SchedulingAttempt):
         ii: int,
         binding: Dict[int, UnitInstance],
         budget_ratio: float = 16.0,
+        tracer=None,
+        metrics=None,
     ):
-        super().__init__(loop, machine, ddg, ii, binding, budget_ratio)
+        super().__init__(
+            loop, machine, ddg, ii, binding, budget_ratio, tracer=tracer, metrics=metrics
+        )
         self.recurrence = recurrence_ops(ddg)
         #: Initial slack, frozen before any placement (the static priority).
         self.initial_slack = {
@@ -95,8 +99,12 @@ class HeightAttempt(SchedulingAttempt):
         ii: int,
         binding: Dict[int, UnitInstance],
         budget_ratio: float = 16.0,
+        tracer=None,
+        metrics=None,
     ):
-        super().__init__(loop, machine, ddg, ii, binding, budget_ratio)
+        super().__init__(
+            loop, machine, ddg, ii, binding, budget_ratio, tracer=tracer, metrics=metrics
+        )
         stop = loop.stop.oid
         self.height = {}
         for op in loop.ops:

@@ -5,11 +5,19 @@ attempts the chosen scheduler at MII, and on failure increments II by
 ``max(floor(0.04 * II), 1)`` — the paper's compromise that trades a
 little II for far less compile time on large complex loops (footnote 6;
 the +1 policy is available for the ablation bench).
+
+Observability: pass a :class:`~repro.obs.trace.Tracer` to record every
+scheduler decision (attempt starts, placements, ejections, II
+escalations, outcomes) and/or a
+:class:`~repro.obs.metrics.MetricsRegistry` for aggregates (per-phase
+wall time, window-scan lengths, MRT occupancy).  Both default to off
+and cost nothing when absent.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import logging
 import time
 from typing import Optional, Type
 
@@ -19,10 +27,18 @@ from repro.ir.ddg import DDG, build_ddg
 from repro.ir.loop import LoopBody
 from repro.machine.machine import Machine
 from repro.core.baseline import CydromeAttempt, HeightAttempt, UnidirectionalAttempt
-from repro.core.framework import SchedulingAttempt, run_attempt
+from repro.core.framework import (
+    SchedulingAttempt,
+    placement_budget,
+    run_attempt,
+)
 from repro.core.schedule import ScheduleResult, SchedulerStats
 from repro.core.slack import SlackAttempt
 from repro.core.warp import run_warp_attempt
+from repro.obs import trace as tracing
+from repro.obs.metrics import MetricsRegistry, record_mrt_occupancy
+
+logger = logging.getLogger(__name__)
 
 #: Registry of scheduler algorithms selectable by name.  "warp" is the
 #: §8 hierarchical list scheduler, which does not use the
@@ -80,6 +96,8 @@ def modulo_schedule(
     algorithm: str = "slack",
     options: Optional[SchedulerOptions] = None,
     ddg: Optional[DDG] = None,
+    tracer: Optional[tracing.Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ScheduleResult:
     """Modulo schedule ``loop`` for ``machine``.
 
@@ -90,6 +108,8 @@ def modulo_schedule(
             baseline), or "unidirectional" (the §7 ablation).
         options: Driver knobs; defaults reproduce the paper's settings.
         ddg: Pre-built dependence graph (rebuilt when omitted).
+        tracer: Optional decision-level trace sink (see repro.obs).
+        metrics: Optional aggregate-metrics registry (see repro.obs).
 
     Returns:
         A :class:`ScheduleResult`; ``result.success`` is False when every
@@ -101,6 +121,7 @@ def modulo_schedule(
     options = options or SchedulerOptions()
     if ddg is None:
         ddg = build_ddg(loop, machine)
+    trace = tracer if (tracer is not None and tracer.enabled) else None
 
     res_mii = resmii(loop, machine)
     rec_mii = recmii(ddg)
@@ -112,13 +133,23 @@ def modulo_schedule(
     last_ii = mii
     schedule = None
     for _ in range(options.max_attempts):
+        attempt_stats = SchedulerStats()
+        attempt_stats.attempts = 1
+        if trace is not None:
+            budget = 0 if algorithm == "warp" else placement_budget(loop, options.budget_ratio)
+            trace.emit(
+                tracing.AttemptStart(
+                    algorithm=algorithm,
+                    ii=ii,
+                    n_ops=len(loop.real_ops),
+                    budget=budget,
+                )
+            )
         if algorithm == "warp":
-            started = time.perf_counter()
-            schedule, attempt_stats = run_warp_attempt(loop, machine, ddg, ii, binding)
-            stats.scheduling_seconds += time.perf_counter() - started
-            stats.attempts += 1
-            stats.placements += attempt_stats.placements
-            stats.forced += attempt_stats.forced
+            schedule, warp_stats = run_warp_attempt(
+                loop, machine, ddg, ii, binding, tracer=trace
+            )
+            attempt_stats.merge(warp_stats)
         else:
             kwargs = {"budget_ratio": options.budget_ratio}
             if attempt_cls is SlackAttempt:
@@ -126,25 +157,66 @@ def modulo_schedule(
                 kwargs["dynamic_priority"] = options.dynamic_priority
                 kwargs["critical_threshold"] = options.critical_threshold
             started = time.perf_counter()
-            attempt = attempt_cls(loop, machine, ddg, ii, binding, **kwargs)
-            stats.mindist_seconds += time.perf_counter() - started
+            attempt = attempt_cls(
+                loop, machine, ddg, ii, binding, tracer=trace, metrics=metrics, **kwargs
+            )
+            attempt.stats.mindist_seconds += time.perf_counter() - started
 
             started = time.perf_counter()
             schedule = run_attempt(attempt)
-            stats.scheduling_seconds += time.perf_counter() - started
-            stats.attempts += 1
-            stats.placements += attempt.stats.placements
-            stats.forced += attempt.stats.forced
-            stats.ejections += attempt.stats.ejections
+            attempt.stats.scheduling_seconds += time.perf_counter() - started
+            attempt_stats.merge(attempt.stats)
+        stats.merge(attempt_stats)
+        if metrics is not None:
+            metrics.counter("scheduler.attempts").inc()
+            metrics.timer("phase.mindist").add(attempt_stats.mindist_seconds)
+            metrics.timer("phase.scheduling").add(attempt_stats.scheduling_seconds)
         last_ii = ii
         if schedule is not None and options.max_rr_pressure is not None:
             from repro.bounds.lifetimes import rr_max_live
 
-            if rr_max_live(loop, ddg, schedule.times, ii) > options.max_rr_pressure:
+            pressure = rr_max_live(loop, ddg, schedule.times, ii)
+            if pressure > options.max_rr_pressure:
                 schedule = None  # over budget: slow the pipeline down
+                if trace is not None:
+                    trace.emit(
+                        tracing.AttemptFail(
+                            ii=ii,
+                            reason=(
+                                f"MaxLive {pressure} exceeds register budget "
+                                f"{options.max_rr_pressure}"
+                            ),
+                        )
+                    )
         if schedule is not None:
             break
-        ii = options.next_ii(ii)
+        next_ii = options.next_ii(ii)
+        logger.info(
+            "%s: attempt at II=%d failed (%d ejections so far); escalating to II=%d",
+            loop.name, ii, stats.ejections, next_ii,
+        )
+        if trace is not None:
+            trace.emit(
+                tracing.IIEscalate(
+                    old_ii=ii,
+                    new_ii=next_ii,
+                    reason=f"attempt {stats.attempts} failed at II={ii}",
+                )
+            )
+        ii = next_ii
+
+    if schedule is not None:
+        logger.info(
+            "%s: scheduled at II=%d (MII=%d) after %d attempt(s), %d ejections",
+            loop.name, schedule.ii, mii, stats.attempts, stats.ejections,
+        )
+        if trace is not None:
+            trace.emit(
+                tracing.ScheduleFound(
+                    ii=schedule.ii, span=schedule.span, stages=schedule.stages
+                )
+            )
+        record_mrt_occupancy(metrics, schedule)
 
     return ScheduleResult(
         loop=loop,

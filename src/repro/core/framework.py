@@ -37,6 +37,8 @@ from repro.ir.operations import Operation
 from repro.machine.machine import Machine, UnitInstance
 from repro.machine.mrt import ModuloResourceTable
 from repro.core.schedule import Schedule, SchedulerStats
+from repro.obs import trace as tracing
+from repro.obs.metrics import MetricsRegistry
 
 #: Bound value meaning "unconstrained" in intermediate numpy math.
 _HUGE = 2**40
@@ -44,6 +46,12 @@ _HUGE = 2**40
 
 class AttemptFailed(Exception):
     """The placement budget was exhausted at this II."""
+
+
+def placement_budget(loop: LoopBody, budget_ratio: float) -> int:
+    """The §4.2 step-6 placement budget for one attempt (shared with the
+    driver so AttemptStart events can report it before construction)."""
+    return max(100, int(budget_ratio * max(1, len(loop.real_ops))))
 
 
 class SchedulingAttempt:
@@ -65,7 +73,15 @@ class SchedulingAttempt:
         binding: Dict[int, UnitInstance],
         budget_ratio: float = 16.0,
         tight_cap: bool = False,
+        tracer: Optional[tracing.Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
+        #: Normalized trace sink: None unless an *enabled* tracer was
+        #: given, so the hot-path cost of the NullTracer default is one
+        #: attribute test per decision (see obs.trace).
+        self.trace = tracer if (tracer is not None and tracer.enabled) else None
+        self.metrics = metrics
+        self._eject_counts: Optional[Dict[int, int]] = {} if metrics is not None else None
         self.loop = loop
         self.machine = machine
         self.ddg = ddg
@@ -90,7 +106,7 @@ class SchedulingAttempt:
         self.times: Dict[int, int] = {self.start_oid: 0}
         self.last_place: Dict[int, int] = {}
         self.unplaced: Set[int] = {op.oid for op in loop.ops} - {self.start_oid}
-        self.budget = max(100, int(budget_ratio * max(1, len(loop.real_ops))))
+        self.budget = placement_budget(loop, budget_ratio)
         self.stats = SchedulerStats()
 
         self.estart = np.zeros(self.n, dtype=np.int64)
@@ -130,6 +146,8 @@ class SchedulingAttempt:
         np.minimum(self.lstart, cap_bound, out=self.lstart)
         np.clip(self.lstart, None, _HUGE, out=self.lstart)
         self._bounds_dirty = False
+        if self.trace is not None:
+            self.trace.emit(tracing.BoundsRecompute(n_placed=len(self.times)))
 
     def _update_bounds_for_placement(self, oid: int, cycle: int) -> None:
         """Incremental §4.1 update after placing ``oid`` at ``cycle``."""
@@ -144,23 +162,33 @@ class SchedulingAttempt:
                 self._recompute_bounds()
             estart_stop = int(self.estart[self.stop_oid])
             if self.stop_oid in self.times and estart_stop > self.times[self.stop_oid]:
-                self._eject(self.stop_oid)
+                self._eject(self.stop_oid, cause="cap")
                 continue
             if estart_stop > self.lstart_cap:
+                old_cap = self.lstart_cap
                 self.lstart_cap = self._quantize_cap(estart_stop)
                 self._bounds_dirty = True
+                if self.trace is not None:
+                    self.trace.emit(
+                        tracing.CapGrow(old_cap=old_cap, new_cap=self.lstart_cap)
+                    )
                 continue
             break
 
     # ------------------------------------------------------------------
     # Placement / ejection (§4.4)
     # ------------------------------------------------------------------
-    def _eject(self, oid: int) -> None:
+    def _eject(self, oid: int, cause: str = "force") -> None:
         op = self.loop.ops[oid]
-        self.mrt.remove(op, self.times.pop(oid))
+        cycle = self.times.pop(oid)
+        self.mrt.remove(op, cycle)
         self.unplaced.add(oid)
         self.stats.ejections += 1
         self._bounds_dirty = True
+        if self.trace is not None:
+            self.trace.emit(tracing.Eject(oid=oid, cycle=cycle, cause=cause))
+        if self._eject_counts is not None:
+            self._eject_counts[oid] = self._eject_counts.get(oid, 0) + 1
 
     def _dependence_conflicts(self, oid: int, cycle: int) -> List[int]:
         """Placed ops whose times are inconsistent with ``oid @ cycle``.
@@ -193,25 +221,38 @@ class SchedulingAttempt:
             blockers = self.mrt.conflicts(op, cycle)
             dep_blockers = self._dependence_conflicts(op.oid, cycle)
             if -1 in blockers:
-                raise AttemptFailed(f"{op!r} cannot fit at II={self.ii} at all")
+                self._fail(f"{op!r} cannot fit at II={self.ii} at all")
             protected = self.brtop_oid is not None and (
                 self.brtop_oid in blockers or self.brtop_oid in dep_blockers
             )
             if protected and op.oid != self.brtop_oid:
                 cycle += 1
                 continue
-            for blocker in set(blockers) | set(dep_blockers):
+            ejected = sorted(set(blockers) | set(dep_blockers))
+            for blocker in ejected:
                 self._eject(blocker)
+            if self.trace is not None:
+                self.trace.emit(
+                    tracing.ForcePlace(oid=op.oid, cycle=cycle, ejected=ejected)
+                )
             return cycle
 
-    def _place(self, op: Operation, cycle: int) -> None:
+    def _place(self, op: Operation, cycle: int, forced: bool = False) -> None:
         self.mrt.place(op, cycle)
         self.times[op.oid] = cycle
         self.last_place[op.oid] = cycle
         self.unplaced.discard(op.oid)
         self.stats.placements += 1
+        if self.trace is not None:
+            self.trace.emit(tracing.Place(oid=op.oid, cycle=cycle, forced=forced))
         if not self._bounds_dirty:
             self._update_bounds_for_placement(op.oid, cycle)
+
+    def _fail(self, reason: str) -> None:
+        """Emit the AttemptFail event and raise :class:`AttemptFailed`."""
+        if self.trace is not None:
+            self.trace.emit(tracing.AttemptFail(ii=self.ii, reason=reason))
+        raise AttemptFailed(reason)
 
     # ------------------------------------------------------------------
     # Heuristic hooks
@@ -231,32 +272,53 @@ class SchedulingAttempt:
         clamps the window accordingly.
         """
         cycles = range(lo, hi + 1) if early else range(hi, lo - 1, -1)
+        if self.metrics is None:
+            for cycle in cycles:
+                if self.mrt.fits(op, cycle):
+                    return cycle
+            return None
+        found = None
+        scanned = 0
         for cycle in cycles:
+            scanned += 1
             if self.mrt.fits(op, cycle):
-                return cycle
-        return None
+                found = cycle
+                break
+        self.metrics.histogram("scheduler.scan_window_length").record(scanned)
+        return found
 
     # ------------------------------------------------------------------
     # Central loop (§4.2)
     # ------------------------------------------------------------------
     def run(self) -> Dict[int, int]:
         """Place every operation or raise :class:`AttemptFailed`."""
-        while True:
-            self._refresh_bounds()
-            if not self.unplaced:
-                break
-            if self.stats.placements >= self.budget:
-                raise AttemptFailed(
-                    f"budget of {self.budget} placements exhausted at II={self.ii}"
-                )
-            op = self.choose_operation()
-            lo = int(self.estart[op.oid])
-            hi = min(int(self.lstart[op.oid]), lo + self.ii - 1)
-            cycle = self.choose_issue_cycle(op, lo, hi) if lo <= hi else None
-            if cycle is None:
-                cycle = self._force_place(op)
-            self._place(op, cycle)
-        return dict(self.times)
+        if self.trace is not None:
+            # Start's implicit placement, so a replayed Place/Eject
+            # stream reconstructs the complete times dict.
+            self.trace.emit(tracing.Place(oid=self.start_oid, cycle=0))
+        try:
+            while True:
+                self._refresh_bounds()
+                if not self.unplaced:
+                    break
+                if self.stats.placements >= self.budget:
+                    self._fail(
+                        f"budget of {self.budget} placements exhausted at II={self.ii}"
+                    )
+                op = self.choose_operation()
+                lo = int(self.estart[op.oid])
+                hi = min(int(self.lstart[op.oid]), lo + self.ii - 1)
+                cycle = self.choose_issue_cycle(op, lo, hi) if lo <= hi else None
+                if cycle is None:
+                    self._place(op, self._force_place(op), forced=True)
+                else:
+                    self._place(op, cycle)
+            return dict(self.times)
+        finally:
+            if self._eject_counts:
+                histogram = self.metrics.histogram("scheduler.ejections_per_op")
+                for count in self._eject_counts.values():
+                    histogram.record(count)
 
 
 def run_attempt(attempt: SchedulingAttempt) -> Optional[Schedule]:

@@ -62,8 +62,13 @@ class SlackAttempt(SchedulingAttempt):
         critical_threshold: float = 0.90,
         tight_cap: bool = False,
         dynamic_priority: bool = True,
+        tracer=None,
+        metrics=None,
     ):
-        super().__init__(loop, machine, ddg, ii, binding, budget_ratio, tight_cap=tight_cap)
+        super().__init__(
+            loop, machine, ddg, ii, binding, budget_ratio,
+            tight_cap=tight_cap, tracer=tracer, metrics=metrics,
+        )
         self.bidirectional = bidirectional
         #: §8 ablation: with dynamic_priority off, the operation choice
         #: freezes each op's *initial* slack (as Cydrome's scheduler

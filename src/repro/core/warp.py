@@ -32,6 +32,7 @@ stretches lifetimes besides.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.bounds.mindist import MinDist
@@ -41,6 +42,7 @@ from repro.ir.loop import LoopBody
 from repro.machine.machine import Machine, UnitInstance
 from repro.machine.mrt import ModuloResourceTable
 from repro.core.schedule import Schedule, SchedulerStats
+from repro.obs import trace as tracing
 
 
 @dataclasses.dataclass
@@ -66,7 +68,9 @@ class WarpScheduler:
         ddg: DDG,
         ii: int,
         binding: Dict[int, UnitInstance],
+        tracer: Optional[tracing.Tracer] = None,
     ):
+        self.trace = tracer if (tracer is not None and tracer.enabled) else None
         self.loop = loop
         self.machine = machine
         self.ddg = ddg
@@ -174,6 +178,13 @@ class WarpScheduler:
     def run(self) -> Optional[Dict[int, int]]:
         """List schedule the condensation; None if any node fails."""
         if self.infeasible_node:
+            if self.trace is not None:
+                self.trace.emit(
+                    tracing.AttemptFail(
+                        ii=self.ii,
+                        reason="a recurrence circuit cannot be packed at this II",
+                    )
+                )
             return None
         loop = self.loop
         node_of: Dict[int, _MacroNode] = {}
@@ -184,6 +195,8 @@ class WarpScheduler:
         # Topological order of the condensation by earliest start.
         order = self._topological_order(node_of)
         times: Dict[int, int] = {loop.start.oid: 0}
+        if self.trace is not None:
+            self.trace.emit(tracing.Place(oid=loop.start.oid, cycle=0))
 
         for node in order:
             if node.members == [loop.start.oid]:
@@ -191,10 +204,22 @@ class WarpScheduler:
             earliest = self._earliest_start(node, times)
             placed_at = self._place_node(node, earliest)
             if placed_at is None:
+                if self.trace is not None:
+                    self.trace.emit(
+                        tracing.AttemptFail(
+                            ii=self.ii,
+                            reason=(
+                                f"no conflict-free slot for node {node.members} "
+                                f"at II={self.ii} (no backtracking)"
+                            ),
+                        )
+                    )
                 return None
             for oid in node.members:
                 times[oid] = placed_at + node.offsets[oid]
                 self.stats.placements += 1
+                if self.trace is not None:
+                    self.trace.emit(tracing.Place(oid=oid, cycle=times[oid]))
         return times
 
     def _topological_order(self, node_of) -> List[_MacroNode]:
@@ -277,10 +302,21 @@ def run_warp_attempt(
     ddg: DDG,
     ii: int,
     binding: Dict[int, UnitInstance],
+    tracer: Optional[tracing.Tracer] = None,
 ) -> Tuple[Optional[Schedule], SchedulerStats]:
-    """One Warp-style attempt; (schedule or None, work stats)."""
-    scheduler = WarpScheduler(loop, machine, ddg, ii, binding)
+    """One Warp-style attempt; (schedule or None, work stats).
+
+    Construction (dominated by the MinDist solve) is accounted to
+    ``mindist_seconds`` and the list scheduling itself to
+    ``scheduling_seconds``, mirroring the backtracking framework's
+    split so Table-4-style effort comparisons stay apples-to-apples.
+    """
+    started = time.perf_counter()
+    scheduler = WarpScheduler(loop, machine, ddg, ii, binding, tracer=tracer)
+    scheduler.stats.mindist_seconds += time.perf_counter() - started
+    started = time.perf_counter()
     times = scheduler.run()
+    scheduler.stats.scheduling_seconds += time.perf_counter() - started
     if times is None:
         return None, scheduler.stats
     schedule = Schedule(loop=loop, machine=machine, ii=ii, times=times, binding=binding)

@@ -20,6 +20,8 @@ from repro.core import SchedulerOptions, modulo_schedule
 from repro.frontend import DoLoop, compile_loop
 from repro.ir import DIVIDER_OPCODES, LoopBody, build_ddg
 from repro.machine import Machine, cydra5
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.experiments.metrics import LoopMetrics
 
 
@@ -46,8 +48,15 @@ def measure_loop(
     machine: Optional[Machine] = None,
     algorithm: str = "slack",
     options: Optional[SchedulerOptions] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> LoopMetrics:
-    """Schedule one loop and record every evaluation metric."""
+    """Schedule one loop and record every evaluation metric.
+
+    ``tracer``/``metrics`` are forwarded to the scheduling driver
+    (repro.obs); per-phase wall times are additionally accumulated into
+    the registry so corpus runs expose where the time goes.
+    """
     machine = machine or cydra5()
     loop = compile_loop(program) if isinstance(program, DoLoop) else program
     ddg = build_ddg(loop, machine)
@@ -55,6 +64,8 @@ def measure_loop(
     started = time.perf_counter()
     rec_mii = recmii(ddg)
     recmii_seconds = time.perf_counter() - started
+    if metrics is not None:
+        metrics.timer("phase.recmii").add(recmii_seconds)
     res_mii = resmii(loop, machine)
     mii = max(rec_mii, res_mii)
 
@@ -65,7 +76,10 @@ def measure_loop(
     mindist_at_mii = MinDist(ddg, mii)
     min_avg_mii = min_avg(loop, ddg, mindist_at_mii, mii)
 
-    result = modulo_schedule(loop, machine, algorithm=algorithm, options=options, ddg=ddg)
+    result = modulo_schedule(
+        loop, machine, algorithm=algorithm, options=options, ddg=ddg,
+        tracer=tracer, metrics=metrics,
+    )
 
     if result.success:
         times = result.schedule.times
@@ -117,10 +131,15 @@ def run_corpus(
     machine: Optional[Machine] = None,
     algorithm: str = "slack",
     options: Optional[SchedulerOptions] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[LoopMetrics]:
     """Measure a whole corpus with one scheduler configuration."""
     machine = machine or cydra5()
     return [
-        measure_loop(program, machine, algorithm=algorithm, options=options)
+        measure_loop(
+            program, machine, algorithm=algorithm, options=options,
+            tracer=tracer, metrics=metrics,
+        )
         for program in programs
     ]

@@ -1,0 +1,85 @@
+"""Observability: scheduler tracing, metrics, export, and post-mortems.
+
+The package is a cross-cutting companion to ``repro.core``: the driver
+and every scheduling framework accept an optional
+:class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry`; the default
+:class:`~repro.obs.trace.NullTracer` costs one attribute test per
+decision (benchmarked <5%).  See DESIGN.md §"Observability" for the
+event schema and hook locations.
+"""
+
+from repro.obs.explain import explain
+from repro.obs.export import (
+    load_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    record_mrt_occupancy,
+)
+from repro.obs.render import render_lifetime_chart, render_mrt_occupancy
+from repro.obs.trace import (
+    EVENT_TYPES,
+    NULL_TRACER,
+    AttemptFail,
+    AttemptStart,
+    BoundsRecompute,
+    CapGrow,
+    CollectingTracer,
+    Eject,
+    ForcePlace,
+    IIEscalate,
+    NullTracer,
+    Place,
+    ScheduleFound,
+    TraceEvent,
+    Tracer,
+    event_from_dict,
+    replay_times,
+    split_attempts,
+    surviving_places,
+)
+
+__all__ = [
+    "explain",
+    "load_jsonl",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "record_mrt_occupancy",
+    "render_lifetime_chart",
+    "render_mrt_occupancy",
+    "EVENT_TYPES",
+    "NULL_TRACER",
+    "AttemptFail",
+    "AttemptStart",
+    "BoundsRecompute",
+    "CapGrow",
+    "CollectingTracer",
+    "Eject",
+    "ForcePlace",
+    "IIEscalate",
+    "NullTracer",
+    "Place",
+    "ScheduleFound",
+    "TraceEvent",
+    "Tracer",
+    "event_from_dict",
+    "replay_times",
+    "split_attempts",
+    "surviving_places",
+]

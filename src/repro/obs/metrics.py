@@ -1,0 +1,194 @@
+"""Lightweight metrics: counters, gauges, timers, histograms.
+
+A :class:`MetricsRegistry` is an opt-in companion to the tracer: where
+the trace records individual decisions, metrics aggregate — window-scan
+lengths, ejections per operation, MRT occupancy per resource, per-phase
+wall time.  Instruments are created on first use and addressed by a
+dotted name, so call sites stay one-liners:
+
+    metrics.counter("scheduler.attempts").inc()
+    metrics.histogram("scan.window_length").record(scanned)
+    with metrics.timer("phase.mindist").time():
+        ...
+
+Everything is in-process and dependency-free; ``snapshot()`` returns a
+plain dict (JSON-safe) and ``render()`` a human-readable block used by
+the CLI's ``--explain`` output.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Timer:
+    """Accumulated wall time over any number of timed sections."""
+
+    __slots__ = ("seconds", "count")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.count += 1
+
+    @contextlib.contextmanager
+    def time(self):
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(time.perf_counter() - started)
+
+
+class Histogram:
+    """Distribution of observed values (kept exactly; corpora are small)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def record(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def percentile(self, fraction: float) -> float:
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        if not self.values:
+            return {"count": 0, "min": 0, "max": 0, "mean": 0.0, "p50": 0, "p90": 0}
+        return {
+            "count": len(self.values),
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": sum(self.values) / len(self.values),
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every instrument."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "timers": {
+                name: {"seconds": t.seconds, "count": t.count}
+                for name, t in sorted(self._timers.items())
+            },
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Readable block: one line per instrument."""
+        lines = ["metrics:"]
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"  {name:<34} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            lines.append(f"  {name:<34} {gauge.value:.3f}")
+        for name, timer in sorted(self._timers.items()):
+            lines.append(f"  {name:<34} {timer.seconds * 1e3:.2f} ms over {timer.count} section(s)")
+        for name, histogram in sorted(self._histograms.items()):
+            s = histogram.summary()
+            lines.append(
+                f"  {name:<34} n={s['count']} min={s['min']:g} "
+                f"p50={s['p50']:g} p90={s['p90']:g} max={s['max']:g} mean={s['mean']:.2f}"
+            )
+        if len(lines) == 1:
+            lines.append("  (no instruments recorded)")
+        return "\n".join(lines)
+
+
+def record_mrt_occupancy(metrics: Optional[MetricsRegistry], schedule) -> None:
+    """Gauge the fraction of each unit instance's II rows that are busy.
+
+    Derived from the schedule (not the live MRT) so it can be recorded
+    after the fact; matches `Schedule.render_resource_table`'s cells.
+    """
+    if metrics is None:
+        return
+    machine, ii = schedule.machine, schedule.ii
+    busy: Dict[tuple, int] = {}
+    for op in schedule.loop.real_ops:
+        unit = schedule.binding.get(op.oid)
+        if unit is None:
+            continue
+        busy[unit] = busy.get(unit, 0) + min(ii, machine.busy_cycles(op))
+    for class_index, unit_class in enumerate(machine.unit_classes):
+        for instance in range(unit_class.count):
+            cells = busy.get((class_index, instance), 0)
+            metrics.gauge(
+                f"mrt.occupancy.{unit_class.name}[{instance}]"
+            ).set(cells / ii)

@@ -1,8 +1,15 @@
 """Unit tests for the static schedule validator."""
 
-from repro.core import modulo_schedule, validate_schedule
+import pytest
 
-from tests.conftest import build_figure1_loop
+from repro.core import modulo_schedule, validate_schedule
+from repro.ir import build_ddg
+
+from tests.conftest import (
+    build_accumulator_loop,
+    build_divider_loop,
+    build_figure1_loop,
+)
 
 
 def test_valid_schedule_has_no_violations(machine):
@@ -45,3 +52,60 @@ def test_detects_misplaced_start(machine):
     schedule.times[schedule.loop.start.oid] = 1
     violations = validate_schedule(schedule)
     assert any("Start" in v for v in violations)
+
+
+@pytest.mark.parametrize("algorithm", ["slack", "cydrome", "unidirectional", "height", "warp"])
+@pytest.mark.parametrize(
+    "build", [build_figure1_loop, build_accumulator_loop, build_divider_loop]
+)
+def test_every_algorithm_produces_valid_schedules(machine, algorithm, build):
+    result = modulo_schedule(build(), machine, algorithm=algorithm)
+    assert result.success
+    assert validate_schedule(result.schedule) == []
+
+
+def test_accepts_explicit_prebuilt_ddg(machine):
+    loop = build_figure1_loop()
+    ddg = build_ddg(loop, machine)
+    result = modulo_schedule(loop, machine, ddg=ddg)
+    assert validate_schedule(result.schedule, ddg) == []
+
+
+def test_unplaced_op_short_circuits_other_checks(machine):
+    result = modulo_schedule(build_figure1_loop(), machine)
+    schedule = result.schedule
+    del schedule.times[schedule.loop.real_ops[0].oid]
+    violations = validate_schedule(schedule)
+    # Only the unplaced report — no misleading downstream noise.
+    assert all("unplaced" in v for v in violations)
+
+
+def test_detects_omega_dependence_violation(machine):
+    """A loop-carried (omega>0) arc is checked at t(src)+lat-omega*II."""
+    result = modulo_schedule(build_accumulator_loop(), machine)
+    schedule = result.schedule
+    ddg = build_ddg(schedule.loop, machine)
+    carried = next(arc for arc in ddg.arcs if arc.omega > 0 and arc.latency > 0)
+    schedule.times[carried.dst] = (
+        schedule.times[carried.src]
+        + carried.latency
+        - carried.omega * schedule.ii
+        - 1
+    )
+    violations = validate_schedule(schedule, ddg)
+    assert any("dependence violated" in v for v in violations)
+
+
+def test_shift_by_whole_iis_never_creates_resource_conflicts(machine):
+    """Moving an op by k*II keeps its MRT row: the validator must report
+    the dependence damage but no phantom resource conflict — including
+    for the non-pipelined divider's multi-cycle busy pattern."""
+    loop = build_divider_loop()
+    result = modulo_schedule(loop, machine)
+    schedule = result.schedule
+    div = next(op for op in loop.real_ops if op.uses_divider)
+    assert machine.busy_cycles(div) > 1  # the premise of the test
+    schedule.times[div.oid] += 2 * schedule.ii
+    violations = validate_schedule(schedule)
+    assert violations  # the store of q now reads it too early
+    assert all("resource conflict" not in v for v in violations)

@@ -88,3 +88,56 @@ def test_paper_report_flag(capsys):
 
 def test_warp_algorithm_via_cli(source_file):
     assert main([source_file, "--algorithm", "warp"]) == 0
+
+
+def test_trace_jsonl_replays_to_final_schedule(tmp_path, capsys):
+    from repro.frontend import compile_loop
+    from repro.frontend.parser import parse_loop
+    from repro.machine import cydra5
+    from repro.core import modulo_schedule
+    from repro.obs import load_jsonl, replay_times
+
+    path = tmp_path / "trace.jsonl"
+    assert main(["--demo", "--trace", str(path)]) == 0
+    assert "trace:" in capsys.readouterr().out
+    events = load_jsonl(str(path))
+    assert events, "trace file must not be empty"
+    # The demo run is deterministic: replaying the written trace must
+    # reconstruct the same schedule an in-process run produces.
+    from repro.cli import _DEMO
+
+    loop = compile_loop(parse_loop(_DEMO))
+    result = modulo_schedule(loop, cydra5())
+    assert replay_times(events) == result.schedule.times
+
+
+def test_trace_chrome_format(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.json"
+    assert main(["--demo", "--trace", str(path), "--trace-format", "chrome"]) == 0
+    document = json.loads(path.read_text())
+    assert document["traceEvents"]
+    assert {"name", "ph", "pid"} <= set(document["traceEvents"][-1])
+
+
+def test_explain_flag(capsys):
+    assert main(["--demo", "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "=== explain: figure1 ===" in out
+    assert "critical resource" in out
+    assert "MRT occupancy" in out
+    assert "metrics:" in out
+
+
+def test_verbose_flag_logs_progress(capsys, caplog):
+    import logging
+
+    with caplog.at_level(logging.INFO, logger="repro.core.driver"):
+        assert main(["--demo", "--verbose"]) == 0
+    assert any("scheduled at II=" in message for message in caplog.messages)
+
+
+def test_default_run_is_quiet(capsys, caplog):
+    assert main(["--demo"]) == 0
+    assert not caplog.messages

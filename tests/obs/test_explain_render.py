@@ -1,0 +1,95 @@
+"""Explain reports and ASCII renderings stay consistent with results."""
+
+from repro.bounds import rr_max_live
+from repro.core import SchedulerOptions, modulo_schedule
+from repro.ir import build_ddg
+from repro.obs import (
+    CollectingTracer,
+    MetricsRegistry,
+    explain,
+    render_lifetime_chart,
+    render_mrt_occupancy,
+)
+
+from tests.conftest import build_divider_loop, build_figure1_loop
+
+
+def traced(machine, build=build_figure1_loop, **kwargs):
+    tracer = CollectingTracer()
+    result = modulo_schedule(build(), machine, tracer=tracer, **kwargs)
+    return result, tracer.events
+
+
+def test_explain_reports_result_numbers(machine):
+    result, events = traced(machine)
+    report = explain(result, events)
+    assert f"scheduled at II={result.schedule.ii}" in report
+    assert f"MII={result.mii}" in report
+    assert f"ResMII={result.res_mii}" in report
+    assert f"RecMII={result.rec_mii}" in report
+    ddg = build_ddg(result.loop, result.machine)
+    pressure = rr_max_live(result.loop, ddg, result.schedule.times, result.schedule.ii)
+    assert f"MaxLive={pressure}" in report
+    assert "optimal" in report
+
+
+def test_explain_names_the_critical_resource(machine):
+    result, events = traced(machine)
+    # figure1's two float adds saturate the single Adder at II=2.
+    assert "critical resource: Adder" in explain(result, events)
+
+
+def test_explain_lists_attempts_and_ejections(machine):
+    result, events = traced(machine, build_divider_loop)
+    report = explain(result, events)
+    assert f"attempts ({result.stats.attempts}):" in report
+    if result.stats.ejections:
+        assert "worst offenders" in report
+    else:
+        assert "no backtracking needed" in report
+
+
+def test_explain_on_failure_gives_escalation_reasons(machine):
+    options = SchedulerOptions(max_rr_pressure=1, max_attempts=2)
+    result, events = traced(machine, options=options)
+    report = explain(result, events)
+    assert "FAILED to pipeline" in report
+    assert "II escalations: 2" in report
+    assert "register budget" in report
+
+
+def test_explain_includes_metrics_block(machine):
+    tracer, metrics = CollectingTracer(), MetricsRegistry()
+    result = modulo_schedule(
+        build_figure1_loop(), machine, tracer=tracer, metrics=metrics
+    )
+    report = explain(result, tracer.events, metrics)
+    assert "metrics:" in report
+    assert "phase.scheduling" in report
+
+
+def test_explain_without_trace_events(machine):
+    result = modulo_schedule(build_figure1_loop(), machine)
+    report = explain(result, [])
+    assert "no trace events captured" in report
+
+
+def test_render_mrt_occupancy_marks_saturation(machine):
+    result = modulo_schedule(build_figure1_loop(), machine)
+    art = render_mrt_occupancy(result.schedule)
+    assert f"II={result.schedule.ii}" in art
+    assert "<- critical" in art
+    assert "Adder[0]" in art
+    # One line per unit instance plus two header lines.
+    assert len(art.splitlines()) == 2 + sum(u.count for u in machine.unit_classes)
+
+
+def test_render_lifetime_chart_matches_maxlive(machine):
+    result = modulo_schedule(build_figure1_loop(), machine)
+    ddg = build_ddg(result.loop, machine)
+    art = render_lifetime_chart(result.schedule, ddg)
+    pressure = rr_max_live(result.loop, ddg, result.schedule.times, result.schedule.ii)
+    assert f"MaxLive={pressure}" in art
+    # Every II row of the live vector is rendered.
+    for row in range(result.schedule.ii):
+        assert f"row {row:>3}:" in art
