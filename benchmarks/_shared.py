@@ -1,75 +1,21 @@
-"""Shared infrastructure for the table/figure benchmarks.
+"""Back-compat facade over :mod:`harness` for the bench_*.py scripts.
 
-Every benchmark regenerates one artifact of the paper's evaluation
-(Tables 2-4, Figures 5-8, the §6 effort statistics, and two ablations).
-The corpus defaults to 300 loops for quick runs; set ``REPRO_CORPUS=1525``
-to reproduce at the paper's full scale.
-
-Measured corpus runs are cached per (size, algorithm, options) so the
-figure benchmarks — which need both schedulers' results — do not pay for
-re-measuring what an earlier benchmark already produced; each benchmark
-still *times* its own primary computation via ``benchmark.pedantic``.
+The measurement/caching machinery that used to live here moved into
+``benchmarks/harness.py`` (which itself builds on ``repro.obs.bench``);
+``measured()`` results now come from profiled runs, so span breakdowns
+are available via ``harness.measured_run(...)`` instead of opaque wall
+times.  Existing imports keep working unchanged.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Dict, List, Tuple
-
-from repro.core import SchedulerOptions
-from repro.experiments import LoopMetrics, run_corpus
-from repro.machine import cydra5
-from repro.workloads import default_corpus_size, paper_corpus
-
-_MACHINE = cydra5()
-_CORPUS_CACHE: Dict[int, list] = {}
-_RUN_CACHE: Dict[Tuple[int, str, Tuple], List[LoopMetrics]] = {}
-
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
-
-
-def corpus_size() -> int:
-    return default_corpus_size(300)
-
-
-def corpus(size: int = None):
-    size = size or corpus_size()
-    if size not in _CORPUS_CACHE:
-        _CORPUS_CACHE[size] = paper_corpus(size)
-    return _CORPUS_CACHE[size]
-
-
-def machine():
-    return _MACHINE
-
-
-def measured(algorithm: str, options: SchedulerOptions = None, size: int = None):
-    """Cached corpus measurement for one scheduler configuration."""
-    size = size or corpus_size()
-    key = (size, algorithm, _options_key(options))
-    if key not in _RUN_CACHE:
-        _RUN_CACHE[key] = run_corpus(
-            corpus(size), _MACHINE, algorithm=algorithm, options=options
-        )
-    return _RUN_CACHE[key]
-
-
-def _options_key(options: SchedulerOptions) -> Tuple:
-    if options is None:
-        return ()
-    return (
-        options.budget_ratio,
-        options.max_attempts,
-        options.ii_step_percent,
-        options.bidirectional,
-        options.critical_threshold,
-    )
-
-
-def publish(name: str, text: str) -> None:
-    """Print an artifact and persist it under benchmarks/out/."""
-    print()
-    print(text)
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as handle:
-        handle.write(text + "\n")
+from harness import (  # noqa: F401  (re-exported for the bench scripts)
+    OUT_DIR,
+    MeasuredRun,
+    corpus,
+    corpus_size,
+    machine,
+    measured,
+    measured_run,
+    publish,
+)

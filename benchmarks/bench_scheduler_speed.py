@@ -6,9 +6,11 @@ corpus benchmarks: use them to track scheduler performance regressions.
 
 ``test_trace_overhead`` is the observability guardrail: it schedules a
 Table-2-style corpus untraced, with the default :class:`NullTracer`
-(whose cost is one attribute test per decision), and with a full
-:class:`CollectingTracer` + metrics, asserts the NullTracer overhead
-stays under 5%, and publishes the numbers to
+(whose cost is one attribute test per decision), with the disabled
+:class:`NullProfiler` (same pattern), and with the full
+:class:`CollectingTracer` + metrics + enabled :class:`Profiler`,
+asserts the disabled tracer *and* profiler each stay under 5%
+overhead, and publishes the numbers to
 ``benchmarks/out/trace_overhead.txt``.
 """
 
@@ -20,7 +22,13 @@ from repro.core import modulo_schedule
 from repro.frontend import compile_loop
 from repro.ir import build_ddg
 from repro.machine import cydra5
-from repro.obs import NULL_TRACER, CollectingTracer, MetricsRegistry
+from repro.obs import (
+    NULL_PROFILER,
+    NULL_TRACER,
+    CollectingTracer,
+    MetricsRegistry,
+    Profiler,
+)
 from repro.workloads import paper_corpus
 from repro.workloads.livermore import kernel7_state
 from repro.workloads.generator import LoopGenerator
@@ -99,8 +107,12 @@ def test_trace_overhead(benchmark):
                 (
                     _one_corpus_run(loops),
                     _one_corpus_run(loops, tracer=NULL_TRACER),
+                    _one_corpus_run(loops, profiler=NULL_PROFILER),
                     _one_corpus_run(
-                        loops, tracer=CollectingTracer(), metrics=MetricsRegistry()
+                        loops,
+                        tracer=CollectingTracer(),
+                        metrics=MetricsRegistry(),
+                        profiler=Profiler(),
                     ),
                 )
             )
@@ -115,9 +127,11 @@ def test_trace_overhead(benchmark):
 
     untraced = min(s[0] for s in samples)
     null_traced = min(s[1] for s in samples)
-    full_traced = min(s[2] for s in samples)
+    null_profiled = min(s[2] for s in samples)
+    full_traced = min(s[3] for s in samples)
     null_overhead = median(s[1] / s[0] for s in samples) - 1.0
-    full_overhead = median(s[2] / s[0] for s in samples) - 1.0
+    prof_overhead = median(s[2] / s[0] for s in samples) - 1.0
+    full_overhead = median(s[3] / s[0] for s in samples) - 1.0
     report = "\n".join(
         [
             f"trace overhead ({len(loops)}-loop corpus, {rounds} interleaved rounds,",
@@ -125,14 +139,20 @@ def test_trace_overhead(benchmark):
             f"  untraced (no tracer argument):   {untraced * 1e3:8.1f} ms",
             f"  NullTracer (the default):        {null_traced * 1e3:8.1f} ms "
             f"({null_overhead:+.1%})",
-            f"  CollectingTracer + metrics:      {full_traced * 1e3:8.1f} ms "
+            f"  NullProfiler (the default):      {null_profiled * 1e3:8.1f} ms "
+            f"({prof_overhead:+.1%})",
+            f"  tracer + metrics + profiler:     {full_traced * 1e3:8.1f} ms "
             f"({full_overhead:+.1%})",
             "",
-            "invariant: the opt-out NullTracer path must stay within 5% of",
-            "the untraced scheduler (one attribute test per decision).",
+            "invariant: the opt-out NullTracer and NullProfiler paths must",
+            "each stay within 5% of the untraced scheduler (one attribute",
+            "test per decision/site).",
         ]
     )
     publish("trace_overhead", report)
     assert null_overhead < 0.05, (
         f"NullTracer overhead {null_overhead:.1%} exceeds the 5% budget"
+    )
+    assert prof_overhead < 0.05, (
+        f"NullProfiler overhead {prof_overhead:.1%} exceeds the 5% budget"
     )

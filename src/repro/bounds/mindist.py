@@ -29,15 +29,26 @@ _NO_PATH_CUTOFF = -(2**39)
 
 
 class MinDist:
-    """All-pairs minimum-distance matrix for one (DDG, II) pair."""
+    """All-pairs minimum-distance matrix for one (DDG, II) pair.
 
-    def __init__(self, ddg: DDG, ii: int):
+    ``profiler`` (see :mod:`repro.obs.prof`) wraps the O(n^3) closure in
+    a ``bounds.mindist`` span; the default costs one truth test.
+    """
+
+    def __init__(self, ddg: DDG, ii: int, profiler=None):
         if ii < 1:
             raise ValueError(f"II must be positive, got {ii}")
         self.ddg = ddg
         self.ii = ii
         self.n = ddg.n
-        self.matrix, self.feasible = _closure(ddg, ii)
+        prof = profiler if (profiler is not None and profiler.enabled) else None
+        if prof is None:
+            self.matrix, self.feasible = _closure(ddg, ii)
+        else:
+            with prof.span("bounds.mindist"):
+                self.matrix, self.feasible = _closure(ddg, ii)
+            prof.count("mindist.closures")
+            prof.count("mindist.closure_nodes", self.n)
 
     def dist(self, src: int, dst: int) -> Optional[int]:
         """MinDist(src, dst) in cycles, or None if unconstrained."""

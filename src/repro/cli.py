@@ -4,6 +4,7 @@
     python -m repro loop.txt --algorithm cydrome --emit --simulate
     python -m repro --demo            # runs the paper's Figure 1 sample
     python -m repro --demo --trace t.jsonl --explain   # observability
+    python -m repro bench             # benchmark harness -> BENCH_*.json
 
 Prints lower bounds, the found schedule, register pressure against the
 MinAvg bound, optionally the generated kernel-only VLIW code, and
@@ -13,8 +14,16 @@ semantics.
 Observability (all opt-in; the default run is quiet and untraced):
 ``--trace PATH`` records every scheduler decision (``--trace-format``
 picks JSONL or Chrome trace-event JSON for chrome://tracing/Perfetto),
-``--explain`` prints a post-mortem of the scheduling run, and
-``--verbose`` enables stdlib-logging progress lines from the driver.
+``--explain`` prints a post-mortem of the scheduling run,
+``--metrics-out PATH`` dumps the MetricsRegistry snapshot as
+schema-versioned JSON, and ``--verbose`` enables stdlib-logging
+progress lines from the driver.
+
+The ``bench`` subcommand runs named scenarios under a common protocol
+(warmup, timed repeats with median/IQR, one profiled pass) and writes
+``BENCH_<scenario>.json``; ``bench --compare OLD NEW
+[--fail-on-regress]`` diffs two result sets with a noise-aware
+threshold (see ``repro.obs.bench`` / ``repro.obs.regress``).
 """
 
 from __future__ import annotations
@@ -98,6 +107,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "ejections, critical resource, MRT occupancy, lifetimes)",
     )
     parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="dump the run's metrics registry (counters/timers/histograms) "
+        "as schema-versioned JSON after scheduling",
+    )
+    parser.add_argument(
         "--verbose",
         "-v",
         action="store_true",
@@ -112,6 +127,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # Subcommand: the benchmark harness + regression gate (obs.bench).
+        from repro.obs.bench import bench_main
+
+        return bench_main(argv[1:])
     args = build_argument_parser().parse_args(argv)
     level = logging.INFO if (args.verbose and not args.quiet) else logging.WARNING
     logging.basicConfig(level=level, format="%(levelname)s %(name)s: %(message)s")
@@ -148,8 +170,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(loop.dump())
         print()
 
-    observing = bool(args.trace or args.explain)
-    tracer = CollectingTracer() if observing else None
+    observing = bool(args.trace or args.explain or args.metrics_out)
+    tracer = CollectingTracer() if (args.trace or args.explain) else None
     metrics = MetricsRegistry() if observing else None
     result = modulo_schedule(
         loop, machine, algorithm=args.algorithm, ddg=ddg, tracer=tracer, metrics=metrics
@@ -164,6 +186,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: cannot write trace to {args.trace}: {exc}", file=sys.stderr)
             return 1
         print(f"trace: {len(tracer.events)} events -> {args.trace} ({args.trace_format})")
+    if args.metrics_out:
+        from repro.obs.bench import METRICS_SCHEMA, wrap_payload, write_json
+
+        payload = wrap_payload(
+            METRICS_SCHEMA,
+            {
+                "loop": loop.name,
+                "algorithm": args.algorithm,
+                "metrics": metrics.snapshot(),
+            },
+        )
+        try:
+            write_json(args.metrics_out, payload)
+        except OSError as exc:
+            print(
+                f"error: cannot write metrics to {args.metrics_out}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"metrics: registry snapshot -> {args.metrics_out}")
     print(
         f"{loop.name}: ResMII={result.res_mii} RecMII={result.rec_mii} "
         f"MII={result.mii}"

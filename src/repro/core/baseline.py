@@ -42,9 +42,11 @@ class CydromeAttempt(SchedulingAttempt):
         budget_ratio: float = 16.0,
         tracer=None,
         metrics=None,
+        profiler=None,
     ):
         super().__init__(
-            loop, machine, ddg, ii, binding, budget_ratio, tracer=tracer, metrics=metrics
+            loop, machine, ddg, ii, binding, budget_ratio,
+            tracer=tracer, metrics=metrics, profiler=profiler,
         )
         self.recurrence = recurrence_ops(ddg)
         #: Initial slack, frozen before any placement (the static priority).
@@ -101,9 +103,11 @@ class HeightAttempt(SchedulingAttempt):
         budget_ratio: float = 16.0,
         tracer=None,
         metrics=None,
+        profiler=None,
     ):
         super().__init__(
-            loop, machine, ddg, ii, binding, budget_ratio, tracer=tracer, metrics=metrics
+            loop, machine, ddg, ii, binding, budget_ratio,
+            tracer=tracer, metrics=metrics, profiler=profiler,
         )
         stop = loop.stop.oid
         self.height = {}

@@ -16,6 +16,7 @@ and cost nothing when absent.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import logging
 import time
@@ -37,6 +38,7 @@ from repro.core.slack import SlackAttempt
 from repro.core.warp import run_warp_attempt
 from repro.obs import trace as tracing
 from repro.obs.metrics import MetricsRegistry, record_mrt_occupancy
+from repro.obs.prof import Profiler
 
 logger = logging.getLogger(__name__)
 
@@ -98,6 +100,7 @@ def modulo_schedule(
     ddg: Optional[DDG] = None,
     tracer: Optional[tracing.Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[Profiler] = None,
 ) -> ScheduleResult:
     """Modulo schedule ``loop`` for ``machine``.
 
@@ -110,6 +113,8 @@ def modulo_schedule(
         ddg: Pre-built dependence graph (rebuilt when omitted).
         tracer: Optional decision-level trace sink (see repro.obs).
         metrics: Optional aggregate-metrics registry (see repro.obs).
+        profiler: Optional span profiler (see repro.obs.prof); records
+            where driver/bounds/scheduler wall time goes.
 
     Returns:
         A :class:`ScheduleResult`; ``result.success`` is False when every
@@ -119,12 +124,23 @@ def modulo_schedule(
         raise ValueError(f"unknown algorithm {algorithm!r}; pick from {sorted(ALGORITHMS)}")
     attempt_cls: Type[SchedulingAttempt] = ALGORITHMS[algorithm]
     options = options or SchedulerOptions()
+    prof = profiler if (profiler is not None and profiler.enabled) else None
     if ddg is None:
-        ddg = build_ddg(loop, machine)
+        if prof is None:
+            ddg = build_ddg(loop, machine)
+        else:
+            with prof.span("driver.build_ddg"):
+                ddg = build_ddg(loop, machine)
     trace = tracer if (tracer is not None and tracer.enabled) else None
 
-    res_mii = resmii(loop, machine)
-    rec_mii = recmii(ddg)
+    if prof is None:
+        res_mii = resmii(loop, machine)
+        rec_mii = recmii(ddg)
+    else:
+        with prof.span("bounds.resmii"):
+            res_mii = resmii(loop, machine)
+        with prof.span("bounds.recmii"):
+            rec_mii = recmii(ddg)
     mii = max(res_mii, rec_mii)
     binding = machine.bind_units(loop)
 
@@ -145,27 +161,32 @@ def modulo_schedule(
                     budget=budget,
                 )
             )
-        if algorithm == "warp":
-            schedule, warp_stats = run_warp_attempt(
-                loop, machine, ddg, ii, binding, tracer=trace
-            )
-            attempt_stats.merge(warp_stats)
-        else:
-            kwargs = {"budget_ratio": options.budget_ratio}
-            if attempt_cls is SlackAttempt:
-                kwargs["bidirectional"] = options.bidirectional
-                kwargs["dynamic_priority"] = options.dynamic_priority
-                kwargs["critical_threshold"] = options.critical_threshold
-            started = time.perf_counter()
-            attempt = attempt_cls(
-                loop, machine, ddg, ii, binding, tracer=trace, metrics=metrics, **kwargs
-            )
-            attempt.stats.mindist_seconds += time.perf_counter() - started
+        span = prof.span("driver.attempt") if prof is not None else contextlib.nullcontext()
+        with span:
+            if prof is not None:
+                prof.count("driver.attempts")
+            if algorithm == "warp":
+                schedule, warp_stats = run_warp_attempt(
+                    loop, machine, ddg, ii, binding, tracer=trace
+                )
+                attempt_stats.merge(warp_stats)
+            else:
+                kwargs = {"budget_ratio": options.budget_ratio}
+                if attempt_cls is SlackAttempt:
+                    kwargs["bidirectional"] = options.bidirectional
+                    kwargs["dynamic_priority"] = options.dynamic_priority
+                    kwargs["critical_threshold"] = options.critical_threshold
+                started = time.perf_counter()
+                attempt = attempt_cls(
+                    loop, machine, ddg, ii, binding,
+                    tracer=trace, metrics=metrics, profiler=prof, **kwargs
+                )
+                attempt.stats.mindist_seconds += time.perf_counter() - started
 
-            started = time.perf_counter()
-            schedule = run_attempt(attempt)
-            attempt.stats.scheduling_seconds += time.perf_counter() - started
-            attempt_stats.merge(attempt.stats)
+                started = time.perf_counter()
+                schedule = run_attempt(attempt)
+                attempt.stats.scheduling_seconds += time.perf_counter() - started
+                attempt_stats.merge(attempt.stats)
         stats.merge(attempt_stats)
         if metrics is not None:
             metrics.counter("scheduler.attempts").inc()

@@ -39,6 +39,7 @@ from repro.machine.mrt import ModuloResourceTable
 from repro.core.schedule import Schedule, SchedulerStats
 from repro.obs import trace as tracing
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import Profiler
 
 #: Bound value meaning "unconstrained" in intermediate numpy math.
 _HUGE = 2**40
@@ -75,12 +76,15 @@ class SchedulingAttempt:
         tight_cap: bool = False,
         tracer: Optional[tracing.Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[Profiler] = None,
     ):
         #: Normalized trace sink: None unless an *enabled* tracer was
         #: given, so the hot-path cost of the NullTracer default is one
         #: attribute test per decision (see obs.trace).
         self.trace = tracer if (tracer is not None and tracer.enabled) else None
         self.metrics = metrics
+        #: Normalized profiler, same pattern (see obs.prof).
+        self.prof = profiler if (profiler is not None and profiler.enabled) else None
         self._eject_counts: Optional[Dict[int, int]] = {} if metrics is not None else None
         self.loop = loop
         self.machine = machine
@@ -91,7 +95,7 @@ class SchedulingAttempt:
         #: instead of rounding up to a multiple of II (§4.2's extra
         #: slack only makes sense when II bounds the schedule's period).
         self.tight_cap = tight_cap
-        self.mindist = MinDist(ddg, ii)
+        self.mindist = MinDist(ddg, ii, profiler=self.prof)
         if not self.mindist.feasible:
             raise ValueError(f"II={ii} is below RecMII for {loop.name}")
         self.matrix = self.mindist.matrix
@@ -133,6 +137,14 @@ class SchedulingAttempt:
 
     def _recompute_bounds(self) -> None:
         """Full O(p*n) recomputation from the placed set (after ejections)."""
+        if self.prof is not None:
+            with self.prof.span("bounds.recompute"):
+                self._recompute_bounds_inner()
+            self.prof.count("bounds.recomputes")
+            return
+        self._recompute_bounds_inner()
+
+    def _recompute_bounds_inner(self) -> None:
         placed = np.fromiter(self.times.keys(), dtype=np.int64)
         placed_times = np.fromiter(self.times.values(), dtype=np.int64)
         # Estart(x) = max over placed p of t_p + MinDist(p, x).
@@ -189,6 +201,8 @@ class SchedulingAttempt:
             self.trace.emit(tracing.Eject(oid=oid, cycle=cycle, cause=cause))
         if self._eject_counts is not None:
             self._eject_counts[oid] = self._eject_counts.get(oid, 0) + 1
+        if self.prof is not None:
+            self.prof.count("framework.ejections")
 
     def _dependence_conflicts(self, oid: int, cycle: int) -> List[int]:
         """Placed ops whose times are inconsistent with ``oid @ cycle``.
@@ -215,6 +229,8 @@ class SchedulingAttempt:
     def _force_place(self, op: Operation) -> int:
         """Step 3: make room for ``op`` by ejecting its blockers."""
         self.stats.forced += 1
+        if self.prof is not None:
+            self.prof.count("framework.force_places")
         cycle = max(int(self.estart[op.oid]), self.last_place.get(op.oid, -1) + 1)
         # brtop can never be ejected; search past any conflict with it.
         while True:
@@ -243,6 +259,8 @@ class SchedulingAttempt:
         self.last_place[op.oid] = cycle
         self.unplaced.discard(op.oid)
         self.stats.placements += 1
+        if self.prof is not None:
+            self.prof.count("framework.placements")
         if self.trace is not None:
             self.trace.emit(tracing.Place(oid=op.oid, cycle=cycle, forced=forced))
         if not self._bounds_dirty:
@@ -272,7 +290,7 @@ class SchedulingAttempt:
         clamps the window accordingly.
         """
         cycles = range(lo, hi + 1) if early else range(hi, lo - 1, -1)
-        if self.metrics is None:
+        if self.metrics is None and self.prof is None:
             for cycle in cycles:
                 if self.mrt.fits(op, cycle):
                     return cycle
@@ -284,7 +302,10 @@ class SchedulingAttempt:
             if self.mrt.fits(op, cycle):
                 found = cycle
                 break
-        self.metrics.histogram("scheduler.scan_window_length").record(scanned)
+        if self.metrics is not None:
+            self.metrics.histogram("scheduler.scan_window_length").record(scanned)
+        if self.prof is not None:
+            self.prof.count("framework.scan_cycles", scanned)
         return found
 
     # ------------------------------------------------------------------

@@ -64,10 +64,12 @@ class SlackAttempt(SchedulingAttempt):
         dynamic_priority: bool = True,
         tracer=None,
         metrics=None,
+        profiler=None,
     ):
         super().__init__(
             loop, machine, ddg, ii, binding, budget_ratio,
             tight_cap=tight_cap, tracer=tracer, metrics=metrics,
+            profiler=profiler,
         )
         self.bidirectional = bidirectional
         #: §8 ablation: with dynamic_priority off, the operation choice
@@ -84,9 +86,16 @@ class SlackAttempt(SchedulingAttempt):
             oid for oid, unit in binding.items() if unit in critical_units
         }
         #: MinLT per value id, fixed for this II (§5.1).
-        self.minlt = {
-            value.vid: min_lifetime(value, ddg, self.mindist, ii)
-            for value in loop.values
+        if self.prof is not None:
+            with self.prof.span("slack.minlt"):
+                self.minlt = self._compute_minlt()
+        else:
+            self.minlt = self._compute_minlt()
+
+    def _compute_minlt(self) -> Dict[int, int]:
+        return {
+            value.vid: min_lifetime(value, self.ddg, self.mindist, self.ii)
+            for value in self.loop.values
             if value.is_variant and value.defop is not None
         }
 
@@ -113,6 +122,8 @@ class SlackAttempt(SchedulingAttempt):
         return slack
 
     def choose_operation(self) -> Operation:
+        if self.prof is not None:
+            self.prof.count("slack.choose_operation")
         best_oid = min(
             self.unplaced,
             key=lambda oid: (

@@ -21,6 +21,7 @@ from repro.frontend import DoLoop, compile_loop
 from repro.ir import DIVIDER_OPCODES, LoopBody, build_ddg
 from repro.machine import Machine, cydra5
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prof import Profiler
 from repro.obs.trace import Tracer
 from repro.experiments.metrics import LoopMetrics
 
@@ -50,12 +51,14 @@ def measure_loop(
     options: Optional[SchedulerOptions] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[Profiler] = None,
 ) -> LoopMetrics:
     """Schedule one loop and record every evaluation metric.
 
-    ``tracer``/``metrics`` are forwarded to the scheduling driver
-    (repro.obs); per-phase wall times are additionally accumulated into
-    the registry so corpus runs expose where the time goes.
+    ``tracer``/``metrics``/``profiler`` are forwarded to the scheduling
+    driver (repro.obs); per-phase wall times are additionally
+    accumulated into the registry so corpus runs expose where the time
+    goes.
     """
     machine = machine or cydra5()
     loop = compile_loop(program) if isinstance(program, DoLoop) else program
@@ -73,19 +76,21 @@ def measure_loop(
     critical_units = critical_unit_instances(loop, machine, binding, mii)
     n_critical = sum(1 for oid, unit in binding.items() if unit in critical_units)
     n_div = sum(1 for op in loop.real_ops if op.opcode in DIVIDER_OPCODES)
-    mindist_at_mii = MinDist(ddg, mii)
+    mindist_at_mii = MinDist(ddg, mii, profiler=profiler)
     min_avg_mii = min_avg(loop, ddg, mindist_at_mii, mii)
 
     result = modulo_schedule(
         loop, machine, algorithm=algorithm, options=options, ddg=ddg,
-        tracer=tracer, metrics=metrics,
+        tracer=tracer, metrics=metrics, profiler=profiler,
     )
 
     if result.success:
         times = result.schedule.times
         achieved_ii = result.schedule.ii
         mindist_at_ii = (
-            mindist_at_mii if achieved_ii == mii else MinDist(ddg, achieved_ii)
+            mindist_at_mii
+            if achieved_ii == mii
+            else MinDist(ddg, achieved_ii, profiler=profiler)
         )
         max_live_value = rr_max_live(loop, ddg, times, achieved_ii)
         min_avg_value = min_avg(loop, ddg, mindist_at_ii, achieved_ii)
@@ -133,13 +138,14 @@ def run_corpus(
     options: Optional[SchedulerOptions] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[Profiler] = None,
 ) -> List[LoopMetrics]:
     """Measure a whole corpus with one scheduler configuration."""
     machine = machine or cydra5()
     return [
         measure_loop(
             program, machine, algorithm=algorithm, options=options,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, profiler=profiler,
         )
         for program in programs
     ]

@@ -25,6 +25,7 @@ from repro.obs.metrics import (
     Timer,
     record_mrt_occupancy,
 )
+from repro.obs.prof import NULL_PROFILER, NullProfiler, Profiler
 from repro.obs.render import render_lifetime_chart, render_mrt_occupancy
 from repro.obs.trace import (
     EVENT_TYPES,
@@ -61,6 +62,9 @@ __all__ = [
     "MetricsRegistry",
     "Timer",
     "record_mrt_occupancy",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Profiler",
     "render_lifetime_chart",
     "render_mrt_occupancy",
     "EVENT_TYPES",

@@ -1,0 +1,221 @@
+"""Deterministic scoped-span profiler for the scheduling hot paths.
+
+Where the tracer records *decisions* and the metrics registry records
+*aggregates*, the profiler records *where the wall time goes*: nestable
+named spans (``with prof.span("bounds.mindist"): ...``) accumulated
+into a call tree keyed by span path, plus cheap iteration counters on
+code that is too hot to wrap in a context manager.
+
+Design rules (the :class:`~repro.obs.trace.NullTracer` pattern):
+
+* Instrumented code normalizes the profiler up front —
+  ``self.prof = profiler if (profiler is not None and profiler.enabled)
+  else None`` — so the disabled default costs one attribute test per
+  site (asserted <5% by ``benchmarks/bench_scheduler_speed.py``).
+* The profiler never looks at the wall clock outside an *enabled* span,
+  and span bookkeeping is O(1) per enter/exit, so enabling it perturbs
+  the measured program as little as possible.
+* Peak-memory capture (``tracemalloc``) is opt-in because starting the
+  tracer slows allocation-heavy code; it is off unless
+  ``Profiler(memory=True)``.
+
+The report comes in two shapes: :meth:`Profiler.snapshot` returns a
+JSON-safe dict (embedded in BENCH_*.json files by ``repro.obs.bench``)
+and :meth:`Profiler.report` renders an ASCII self/cumulative table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Separator between nested span names in a span path.  Span *names*
+#: are dotted ("bounds.mindist"); *paths* join the active stack, e.g.
+#: "driver.attempt;bounds.mindist".
+PATH_SEP = ";"
+
+
+class _SpanStat:
+    """Accumulated timing for one span path."""
+
+    __slots__ = ("calls", "cum_seconds", "self_seconds")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.cum_seconds = 0.0
+        self.self_seconds = 0.0
+
+
+class _Span:
+    """Reusable context manager for one ``prof.span(name)`` entry."""
+
+    __slots__ = ("_prof", "_name")
+
+    def __init__(self, prof: "Profiler", name: str):
+        self._prof = prof
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._prof._enter(self._name)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._prof._exit()
+
+
+class Profiler:
+    """Nestable scoped spans + counters, keyed by span path.
+
+    Attributes:
+        enabled: The normalization flag (see module docstring).  A
+            disabled profiler is normalized to ``None`` by every
+            instrumented call site.
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        memory: bool = False,
+    ) -> None:
+        self._clock = clock
+        self._stats: Dict[str, _SpanStat] = {}
+        self._counters: Dict[str, int] = {}
+        #: Active frames: (path, start, child_seconds accumulated so far).
+        self._stack: List[Tuple[str, float, float]] = []
+        self._memory = memory
+        self._started_tracemalloc = False
+        self.peak_memory_bytes: Optional[int] = None
+        if memory:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> _Span:
+        """Context manager timing one named (nestable) section."""
+        return _Span(self, name)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump an iteration counter (for sites too hot for a span)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def _enter(self, name: str) -> None:
+        parent = self._stack[-1][0] if self._stack else ""
+        path = f"{parent}{PATH_SEP}{name}" if parent else name
+        self._stack.append((path, self._clock(), 0.0))
+
+    def _exit(self) -> None:
+        path, started, child_seconds = self._stack.pop()
+        duration = self._clock() - started
+        stat = self._stats.get(path)
+        if stat is None:
+            stat = self._stats[path] = _SpanStat()
+        stat.calls += 1
+        stat.cum_seconds += duration
+        stat.self_seconds += max(0.0, duration - child_seconds)
+        if self._stack:
+            parent_path, parent_start, parent_children = self._stack[-1]
+            self._stack[-1] = (parent_path, parent_start, parent_children + duration)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _capture_memory(self) -> None:
+        if not self._memory:
+            return
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            self.peak_memory_bytes = tracemalloc.get_traced_memory()[1]
+
+    def close(self) -> None:
+        """Stop the tracemalloc session if this profiler started it."""
+        self._capture_memory()
+        if self._started_tracemalloc:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump: spans keyed by path, counters, peak memory.
+
+        Schema (versioned alongside the BENCH schema, see DESIGN.md):
+        ``spans[path] = {calls, cum_seconds, self_seconds}``; paths join
+        nested span names with ``";"``.
+        """
+        self._capture_memory()
+        return {
+            "spans": {
+                path: {
+                    "calls": stat.calls,
+                    "cum_seconds": stat.cum_seconds,
+                    "self_seconds": stat.self_seconds,
+                }
+                for path, stat in sorted(self._stats.items())
+            },
+            "counters": dict(sorted(self._counters.items())),
+            "peak_memory_bytes": self.peak_memory_bytes,
+        }
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's spans/counters into this one."""
+        for path, stat in other._stats.items():
+            mine = self._stats.get(path)
+            if mine is None:
+                mine = self._stats[path] = _SpanStat()
+            mine.calls += stat.calls
+            mine.cum_seconds += stat.cum_seconds
+            mine.self_seconds += stat.self_seconds
+        for name, value in other._counters.items():
+            self.count(name, value)
+
+    def report(self, limit: int = 0) -> str:
+        """ASCII self/cumulative table in call-tree order.
+
+        Lexical path order lists every parent span directly above its
+        children (a path is a prefix of its children's paths), so the
+        indentation reads as a call tree.
+        """
+        lines = [
+            "profile (call-tree order):",
+            f"  {'span path':<44} {'calls':>8} {'self ms':>10} {'cum ms':>10}",
+        ]
+        ordered = sorted(self._stats.items())
+        if limit:
+            ordered = ordered[:limit]
+        for path, stat in ordered:
+            indent = "  " * path.count(PATH_SEP)
+            name = indent + path.rsplit(PATH_SEP, 1)[-1]
+            lines.append(
+                f"  {name:<44} {stat.calls:>8} "
+                f"{stat.self_seconds * 1e3:>10.2f} {stat.cum_seconds * 1e3:>10.2f}"
+            )
+        if not self._stats:
+            lines.append("  (no spans recorded)")
+        if self._counters:
+            lines.append("  counters:")
+            for name, value in sorted(self._counters.items()):
+                lines.append(f"    {name:<42} {value}")
+        if self.peak_memory_bytes is not None:
+            lines.append(f"  peak memory: {self.peak_memory_bytes / 1e6:.2f} MB")
+        return "\n".join(lines)
+
+
+class NullProfiler(Profiler):
+    """The zero-overhead default: normalized away before any hot loop."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # pragma: no cover - trivial
+        super().__init__()
+
+
+#: Shared default instance (stateless in practice: never recorded into).
+NULL_PROFILER = NullProfiler()

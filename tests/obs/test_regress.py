@@ -1,0 +1,167 @@
+"""Regression comparator: thresholds, noise bands, direction, CLI exit."""
+
+import pytest
+
+from repro.obs.bench import BENCH_SCHEMA, metric, wrap_payload, write_json
+from repro.obs.regress import (
+    collect_bench_files,
+    compare_main,
+    compare_metric,
+    compare_payload_pair,
+    compare_sets,
+    gating_regressions,
+    render_table,
+    summarize,
+)
+
+
+def _payload(scenario, **metrics):
+    return wrap_payload(BENCH_SCHEMA, {"scenario": scenario, "metrics": metrics})
+
+
+# ----------------------------------------------------------------------
+# Threshold logic: regression / improvement / within-noise
+# ----------------------------------------------------------------------
+def test_flat_threshold_regression_on_deterministic_metric():
+    old = metric(100, "ejections", direction="lower")
+    new = metric(110, "ejections", direction="lower")
+    delta = compare_metric("s", "ejections_total", old, new, threshold=0.02)
+    assert delta.status == "regression"
+    assert delta.gating is True
+    assert delta.worse_by == pytest.approx(0.10)
+
+
+def test_improvement_is_classified_not_gated():
+    old = metric(100, "ejections", direction="lower")
+    new = metric(80, "ejections", direction="lower")
+    delta = compare_metric("s", "ejections_total", old, new)
+    assert delta.status == "improvement"
+    assert not delta.is_regression
+
+
+def test_within_flat_threshold_is_ok():
+    old = metric(100, "ejections", direction="lower")
+    new = metric(101, "ejections", direction="lower")
+    assert compare_metric("s", "e", old, new, threshold=0.02).status == "ok"
+
+
+def test_recorded_iqr_widens_the_noise_band():
+    # +10% on a metric whose IQR was 8% of the old value: with
+    # iqr_factor=2 the allowance is 2% + 16% = 18%, so this is noise...
+    old = metric(1.0, "s", direction="lower", kind="time", iqr=0.08)
+    new = metric(1.10, "s", direction="lower", kind="time", iqr=0.0)
+    assert compare_metric("s", "wall", old, new).status == "ok"
+    # ...while the same delta with a tight IQR is a real regression.
+    old_tight = metric(1.0, "s", direction="lower", kind="time", iqr=0.005)
+    assert compare_metric("s", "wall", old_tight, new).status == "regression"
+
+
+def test_iqr_taken_from_either_side():
+    old = metric(1.0, "s", direction="lower", kind="time", iqr=0.0)
+    new = metric(1.10, "s", direction="lower", kind="time", iqr=0.08)
+    assert compare_metric("s", "wall", old, new).status == "ok"
+
+
+def test_direction_higher_is_better():
+    old = metric(1000, "ops/s", direction="higher", kind="time")
+    slower = metric(800, "ops/s", direction="higher", kind="time")
+    faster = metric(1300, "ops/s", direction="higher", kind="time")
+    assert compare_metric("s", "tput", old, slower).status == "regression"
+    assert compare_metric("s", "tput", old, faster).status == "improvement"
+
+
+def test_time_metrics_gate_only_with_gate_time():
+    old = metric(1.0, "s", direction="lower", kind="time")
+    new = metric(2.0, "s", direction="lower", kind="time")
+    ungated = compare_metric("s", "wall", old, new, gate_time=False)
+    gated = compare_metric("s", "wall", old, new, gate_time=True)
+    assert ungated.is_regression and not ungated.gating
+    assert gated.is_regression and gated.gating
+    assert gating_regressions([ungated]) == []
+    assert gating_regressions([gated]) == [gated]
+
+
+def test_added_and_removed_metrics_do_not_gate():
+    entry = metric(1.0, "s")
+    added = compare_metric("s", "m", None, entry)
+    removed = compare_metric("s", "m", entry, None)
+    assert added.status == "added" and removed.status == "removed"
+    assert not added.gating and not removed.gating
+
+
+# ----------------------------------------------------------------------
+# Payload / set comparison and rendering
+# ----------------------------------------------------------------------
+def test_compare_payload_pair_covers_metric_union():
+    old = _payload("s", a=metric(1, "x"), b=metric(2, "x"))
+    new = _payload("s", b=metric(2, "x"), c=metric(3, "x"))
+    statuses = {d.name: d.status for d in compare_payload_pair(old, new)}
+    assert statuses == {"a": "removed", "b": "ok", "c": "added"}
+
+
+def test_compare_sets_flags_missing_scenarios():
+    old = {"s1": _payload("s1", m=metric(1, "x"))}
+    new = {"s2": _payload("s2", m=metric(1, "x"))}
+    deltas = compare_sets(old, new)
+    statuses = {(d.scenario, d.status) for d in deltas}
+    assert ("s1", "removed") in statuses and ("s2", "added") in statuses
+
+
+def test_render_table_lists_moves_and_summary_counts():
+    old = _payload("s", e=metric(100, "ejections"), w=metric(1.0, "s", kind="time"))
+    new = _payload("s", e=metric(150, "ejections"), w=metric(1.0, "s", kind="time"))
+    deltas = compare_payload_pair(old, new)
+    table = render_table(deltas)
+    assert "| scenario | metric |" in table
+    assert "REGRESSION" in table and "+50.0%" in table
+    assert "w" not in [line.split("|")[2].strip() for line in table.splitlines()[2:]]
+    assert "1 regressed" in summarize(deltas)
+
+
+def test_render_table_verbose_includes_ok_rows():
+    old = _payload("s", e=metric(100, "ejections"))
+    deltas = compare_payload_pair(old, old)
+    assert "| e |" in render_table(deltas, verbose=True)
+    assert "within noise" in render_table(deltas, verbose=False)
+
+
+# ----------------------------------------------------------------------
+# Files and CLI entry
+# ----------------------------------------------------------------------
+def _write_set(directory, scenario, **metrics):
+    directory.mkdir(parents=True, exist_ok=True)
+    write_json(
+        str(directory / f"BENCH_{scenario}.json"), _payload(scenario, **metrics)
+    )
+
+
+def test_collect_bench_files_from_dir_and_file(tmp_path):
+    _write_set(tmp_path / "run", "slack", m=metric(1, "x"))
+    _write_set(tmp_path / "run", "warp", m=metric(1, "x"))
+    by_dir = collect_bench_files(str(tmp_path / "run"))
+    assert set(by_dir) == {"slack", "warp"}
+    by_file = collect_bench_files(str(tmp_path / "run" / "BENCH_slack.json"))
+    assert set(by_file) == {"slack"}
+    with pytest.raises((OSError, FileNotFoundError)):
+        collect_bench_files(str(tmp_path / "empty"))
+
+
+def test_compare_main_exit_codes(tmp_path, capsys):
+    _write_set(tmp_path / "old", "slack", e=metric(100, "ejections"))
+    _write_set(tmp_path / "new", "slack", e=metric(100, "ejections"))
+    assert compare_main(str(tmp_path / "old"), str(tmp_path / "new"),
+                        fail_on_regress=True) == 0
+
+    _write_set(tmp_path / "bad", "slack", e=metric(200, "ejections"))
+    # A doctored regression must exit non-zero with a readable table.
+    code = compare_main(str(tmp_path / "old"), str(tmp_path / "bad"),
+                        fail_on_regress=True)
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "REGRESSION" in out and "| slack | e |" in out
+    # ...and without --fail-on-regress it reports but exits zero.
+    assert compare_main(str(tmp_path / "old"), str(tmp_path / "bad")) == 0
+
+
+def test_compare_main_bad_input_is_a_usage_error(tmp_path):
+    assert compare_main(str(tmp_path / "nope"), str(tmp_path / "nope")) == 2
