@@ -5,6 +5,7 @@
     python -m repro --demo            # runs the paper's Figure 1 sample
     python -m repro --demo --trace t.jsonl --explain   # observability
     python -m repro bench             # benchmark harness -> BENCH_*.json
+    python -m repro batch --corpus 60 --jobs 4         # scheduling service
 
 Prints lower bounds, the found schedule, register pressure against the
 MinAvg bound, optionally the generated kernel-only VLIW code, and
@@ -134,6 +135,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.bench import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "batch":
+        # Subcommand: the parallel scheduling service (repro.service).
+        from repro.service.batch import batch_main
+
+        return batch_main(argv[1:])
     args = build_argument_parser().parse_args(argv)
     level = logging.INFO if (args.verbose and not args.quiet) else logging.WARNING
     logging.basicConfig(level=level, format="%(levelname)s %(name)s: %(message)s")

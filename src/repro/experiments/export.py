@@ -13,39 +13,56 @@ from repro.experiments.metrics import LoopMetrics
 #: Derived fields appended to every exported record.
 _DERIVED = ("optimal", "pressure_gap", "backtracked")
 
+#: Wall-clock fields, the only nondeterministic part of a LoopMetrics.
+#: ``drop_timings=True`` zeroes them (keeping columns stable) so two
+#: runs of a deterministic scheduler export byte-identical records —
+#: the property the service path's serial-vs-parallel check relies on.
+TIMING_FIELDS = ("mindist_seconds", "scheduling_seconds", "recmii_seconds")
+
 
 def metrics_fieldnames() -> List[str]:
     """Column names, stable across exports (dataclass order + derived)."""
     return [field.name for field in dataclasses.fields(LoopMetrics)] + list(_DERIVED)
 
 
-def _row(metric: LoopMetrics) -> dict:
+def _row(metric: LoopMetrics, drop_timings: bool = False) -> dict:
     record = dataclasses.asdict(metric)
     for name in _DERIVED:
         record[name] = getattr(metric, name)
+    if drop_timings:
+        for name in TIMING_FIELDS:
+            record[name] = 0.0
     return record
 
 
-def to_csv(metrics: Iterable[LoopMetrics]) -> str:
+def to_csv(metrics: Iterable[LoopMetrics], drop_timings: bool = False) -> str:
     """Render metrics as CSV text (header + one row per loop)."""
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=metrics_fieldnames())
     writer.writeheader()
     for metric in metrics:
-        writer.writerow(_row(metric))
+        writer.writerow(_row(metric, drop_timings))
     return buffer.getvalue()
 
 
-def to_json(metrics: Iterable[LoopMetrics], indent: int = 2) -> str:
+def to_json(
+    metrics: Iterable[LoopMetrics], indent: int = 2, drop_timings: bool = False
+) -> str:
     """Render metrics as a JSON array of records."""
-    return json.dumps([_row(metric) for metric in metrics], indent=indent)
+    return json.dumps(
+        [_row(metric, drop_timings) for metric in metrics], indent=indent
+    )
 
 
-def write_csv(metrics: Iterable[LoopMetrics], path: str) -> None:
+def write_csv(
+    metrics: Iterable[LoopMetrics], path: str, drop_timings: bool = False
+) -> None:
     with open(path, "w", newline="") as handle:
-        handle.write(to_csv(metrics))
+        handle.write(to_csv(metrics, drop_timings))
 
 
-def write_json(metrics: Iterable[LoopMetrics], path: str) -> None:
+def write_json(
+    metrics: Iterable[LoopMetrics], path: str, drop_timings: bool = False
+) -> None:
     with open(path, "w") as handle:
-        handle.write(to_json(metrics))
+        handle.write(to_json(metrics, drop_timings=drop_timings))

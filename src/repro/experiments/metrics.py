@@ -25,16 +25,19 @@ class LoopMetrics:
     min_avg_at_mii: int
     gprs: int
 
-    # Scheduling outcome.
+    # Scheduling outcome.  On failure (``success`` False) there is no
+    # schedule to measure: ``ii`` records the last *attempted* II and
+    # the schedule-derived fields below are None — a real measured 0
+    # and "no schedule found" must stay distinguishable.
     success: bool
     ii: int  # achieved II (or last attempted on failure)
-    span: int
-    stages: int
+    span: Optional[int]
+    stages: Optional[int]
 
-    # Register pressure of the found schedule.
-    max_live: int
-    min_avg: int  # MinAvg at the achieved II (Figure 5's baseline)
-    icr: int
+    # Register pressure of the found schedule (None on failure).
+    max_live: Optional[int]
+    min_avg: Optional[int]  # MinAvg at the achieved II (Figure 5's baseline)
+    icr: Optional[int]
 
     # Scheduler effort (§6).
     attempts: int
@@ -45,13 +48,19 @@ class LoopMetrics:
     scheduling_seconds: float
     recmii_seconds: float
 
+    # Why scheduling failed (None on success), e.g. "attempts_exhausted".
+    failure_reason: Optional[str] = None
+
     @property
     def optimal(self) -> bool:
         return self.success and self.ii == self.mii
 
     @property
-    def pressure_gap(self) -> int:
-        """MaxLive - MinAvg: distance from the absolute pressure bound."""
+    def pressure_gap(self) -> Optional[int]:
+        """MaxLive - MinAvg: distance from the absolute pressure bound
+        (None when no schedule was found)."""
+        if self.max_live is None or self.min_avg is None:
+            return None
         return self.max_live - self.min_avg
 
     @property

@@ -96,10 +96,14 @@ def measure_loop(
         min_avg_value = min_avg(loop, ddg, mindist_at_ii, achieved_ii)
         icr_value = icr_usage(loop, ddg, times, achieved_ii)
         span, stages = result.schedule.span, result.schedule.stages
+        failure_reason = None
     else:
+        # No schedule exists: the pressure/shape fields are None (not a
+        # fake 0, which would be indistinguishable from a measured 0).
         achieved_ii = result.last_attempted_ii
-        max_live_value = min_avg_value = icr_value = 0
-        span = stages = 0
+        max_live_value = min_avg_value = icr_value = None
+        span = stages = None
+        failure_reason = "attempts_exhausted"
 
     return LoopMetrics(
         name=loop.name,
@@ -128,6 +132,7 @@ def measure_loop(
         mindist_seconds=result.stats.mindist_seconds,
         scheduling_seconds=result.stats.scheduling_seconds,
         recmii_seconds=recmii_seconds,
+        failure_reason=failure_reason,
     )
 
 
@@ -139,9 +144,43 @@ def run_corpus(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     profiler: Optional[Profiler] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
 ) -> List[LoopMetrics]:
-    """Measure a whole corpus with one scheduler configuration."""
+    """Measure a whole corpus with one scheduler configuration.
+
+    ``jobs`` > 1 or a ``cache_dir`` routes the corpus through the batch
+    scheduling service (:mod:`repro.service`): worker processes, per-job
+    ``timeout``, and a content-addressed result cache.  The service path
+    returns metrics in the same order with identical values; per-loop
+    ``tracer``/``profiler`` hooks do not cross process boundaries and
+    are ignored there (``metrics`` still receives ``service.*``
+    aggregates).
+    """
     machine = machine or cydra5()
+    if jobs != 1 or cache_dir is not None:
+        from repro.service import run_batch
+
+        report = run_batch(
+            programs,
+            machine,
+            algorithm=algorithm,
+            options=options,
+            jobs=jobs,
+            timeout=timeout,
+            cache_dir=cache_dir,
+            metrics=metrics,
+        )
+        missing = [r for r in report.results if r.metrics is None]
+        if missing:
+            detail = "; ".join(
+                f"{r.name}: {r.status} ({r.error})" for r in missing[:5]
+            )
+            raise RuntimeError(
+                f"{len(missing)} corpus loop(s) produced no metrics: {detail}"
+            )
+        return report.loop_metrics
     return [
         measure_loop(
             program, machine, algorithm=algorithm, options=options,

@@ -67,10 +67,19 @@ def scheduling_performance(metrics: Sequence[LoopMetrics], title: str) -> str:
         )
 
     suboptimal = [m for m in metrics if not m.optimal]
-    failures = sum(1 for m in metrics if not m.success)
+    failures = [m for m in metrics if not m.success]
+    reasons = ""
+    if failures:
+        tally: dict = {}
+        for m in failures:
+            reason = m.failure_reason or "unknown"
+            tally[reason] = tally.get(reason, 0) + 1
+        reasons = "; " + ", ".join(
+            f"{reason} x{count}" for reason, count in sorted(tally.items())
+        )
     lines.append("")
     lines.append(f"For the {len(suboptimal)} Loops with II > MII "
-                 f"({failures} failed to pipeline)")
+                 f"({len(failures)} failed to pipeline{reasons})")
     lines.append(f"{'Metric':<12} {'Min':>6} {'50%':>6} {'90%':>6} {'Max':>7}")
     if suboptimal:
         rows = [

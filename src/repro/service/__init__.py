@@ -1,0 +1,74 @@
+"""Batch scheduling service: parallel workers + content-addressed cache.
+
+The scheduler itself is a pure function from ``(loop, machine,
+algorithm, options)`` to a schedule, which makes it an ideal service
+workload: requests are independent, results are deterministic, and the
+same configuration is rescheduled over and over by figures, tables and
+regression runs.  This package turns :func:`repro.experiments.runner.
+measure_loop` into exactly that service:
+
+- :mod:`repro.service.keys` — canonical, ``PYTHONHASHSEED``-independent
+  serialization of a scheduling request into a stable SHA-256 cache key;
+- :mod:`repro.service.cache` — content-addressed on-disk cache of
+  :class:`~repro.experiments.metrics.LoopMetrics` results with atomic
+  writes and corruption-tolerant reads;
+- :mod:`repro.service.jobs` — job/result records with an explicit
+  status (``ok | failed | timeout | crashed | cached``) and
+  deterministic result ordering;
+- :mod:`repro.service.pool` — a fault-tolerant ``ProcessPoolExecutor``
+  worker pool with per-job wall-clock timeouts, bounded retry with
+  backoff after worker crashes, and graceful degradation to in-process
+  serial execution;
+- :mod:`repro.service.batch` — the batch front end
+  (``python -m repro batch``) tying the above together.
+"""
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.jobs import (
+    JOB_CACHED,
+    JOB_CRASHED,
+    JOB_FAILED,
+    JOB_OK,
+    JOB_STATUSES,
+    JOB_TIMEOUT,
+    JobResult,
+    ScheduleJob,
+    make_jobs,
+    order_results,
+)
+from repro.service.keys import (
+    KEY_SCHEMA_VERSION,
+    cache_key,
+    canonical_machine,
+    canonical_options,
+    canonical_program,
+    canonical_request,
+)
+from repro.service.pool import PoolStats, run_jobs
+from repro.service.batch import BatchReport, batch_main, run_batch
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "JOB_CACHED",
+    "JOB_CRASHED",
+    "JOB_FAILED",
+    "JOB_OK",
+    "JOB_STATUSES",
+    "JOB_TIMEOUT",
+    "JobResult",
+    "ScheduleJob",
+    "make_jobs",
+    "order_results",
+    "KEY_SCHEMA_VERSION",
+    "cache_key",
+    "canonical_machine",
+    "canonical_options",
+    "canonical_program",
+    "canonical_request",
+    "PoolStats",
+    "run_jobs",
+    "BatchReport",
+    "batch_main",
+    "run_batch",
+]

@@ -1,0 +1,500 @@
+"""Batch front end: corpus/file scheduling with cache + worker pool.
+
+API::
+
+    from repro.service import run_batch
+    report = run_batch(programs, jobs=4, cache_dir=".repro-cache")
+    report.loop_metrics          # ordered exactly like the serial path
+
+CLI::
+
+    python -m repro batch --corpus 60 --jobs 4
+    python -m repro batch examples/loops --jobs 2 --timeout 30
+    python -m repro batch a.loop b.loop --cache-dir .repro-cache --out m.json
+
+The cache is consulted before the pool: hits come back as ``cached``
+results without touching a worker, misses are scheduled and written
+back.  Because the scheduler is deterministic and the cache key covers
+every input (see :mod:`repro.service.keys`), a warm rerun returns
+byte-identical metrics — including the original run's timing fields —
+at cache-read speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.jobs import (
+    JOB_CACHED,
+    JOB_OK,
+    JobResult,
+    ScheduleJob,
+    make_jobs,
+    order_results,
+)
+from repro.service.keys import cache_key
+from repro.service.pool import PoolStats, run_jobs
+
+#: Default on-disk cache location for the CLI (API default is no cache).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclasses.dataclass
+class BatchReport:
+    """Everything one batch run produced."""
+
+    results: List[JobResult]  # in submission order
+    pool: PoolStats
+    cache: Optional[CacheStats]  # None when caching was disabled
+    wall_seconds: float
+
+    @property
+    def loop_metrics(self) -> list:
+        """Ordered LoopMetrics of every job that produced one."""
+        return [r.metrics for r in self.results if r.metrics is not None]
+
+    @property
+    def ok(self) -> bool:
+        """True when every job produced metrics (ok or cached)."""
+        return all(result.ok for result in self.results)
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for result in self.results:
+            tally[result.status] = tally.get(result.status, 0) + 1
+        return tally
+
+    def summary(self) -> str:
+        """The CLI's multi-line summary block."""
+        counts = self.counts()
+        parts = " ".join(
+            f"{status}={counts[status]}"
+            for status in ("ok", "cached", "failed", "timeout", "crashed")
+            if counts.get(status)
+        )
+        n = len(self.results)
+        unscheduled = sum(
+            1
+            for r in self.results
+            if r.metrics is not None and not r.metrics.success
+        )
+        rate = n / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        lines = [
+            f"batch: {n} loops  {parts or '(empty)'}"
+            + (f"  [{unscheduled} failed to pipeline]" if unscheduled else "")
+        ]
+        if self.cache is not None:
+            lines.append(
+                f"cache: {self.cache.hits} hits, {self.cache.misses} misses, "
+                f"{self.cache.corrupt} corrupt, {self.cache.writes} writes"
+            )
+        pool = self.pool
+        mode = "serial" if pool.fallback_serial else f"{pool.workers} workers"
+        lines.append(
+            f"pool: {mode}  utilization={pool.utilization:.0%}  "
+            f"retries={pool.retries}  rebuilds={pool.rebuilds}  "
+            f"wall={self.wall_seconds:.2f}s ({rate:.1f} loops/s)"
+        )
+        for result in self.results:
+            if not result.ok:
+                lines.append(
+                    f"  {result.status.upper()} {result.name}: {result.error}"
+                )
+        return "\n".join(lines)
+
+
+def _record_metrics(registry, report: BatchReport) -> None:
+    """Mirror a batch's outcome into a repro.obs MetricsRegistry."""
+    if registry is None:
+        return
+    for status, count in report.counts().items():
+        registry.counter(f"service.jobs.{status}").inc(count)
+    if report.cache is not None:
+        registry.counter("service.cache.hits").inc(report.cache.hits)
+        registry.counter("service.cache.misses").inc(report.cache.misses)
+        registry.counter("service.cache.corrupt").inc(report.cache.corrupt)
+        registry.counter("service.cache.writes").inc(report.cache.writes)
+    registry.counter("service.pool.retries").inc(report.pool.retries)
+    registry.counter("service.pool.rebuilds").inc(report.pool.rebuilds)
+    registry.gauge("service.pool.utilization").set(report.pool.utilization)
+    registry.timer("service.batch.wall").add(report.wall_seconds)
+
+
+def run_batch(
+    programs: Sequence[object],
+    machine=None,
+    algorithm: str = "slack",
+    options=None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    metrics=None,
+    max_retries: int = 2,
+    faults: Optional[Dict[int, str]] = None,
+) -> BatchReport:
+    """Schedule a batch of programs (DoLoop or LoopBody) as a service.
+
+    Args:
+        programs: What to schedule; results keep this order.
+        jobs: Worker processes; 1 (the default) runs serially in-process.
+        timeout: Per-job wall-clock budget in seconds (None = unlimited).
+        cache_dir: Root of the content-addressed result cache; None
+            disables caching entirely.
+        use_cache: Set False to bypass reads *and* writes even when
+            ``cache_dir`` is set.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; receives
+            ``service.*`` counters/gauges/timers.
+        max_retries: Crash-recovery resubmissions per job.
+        faults: Optional ``{job index: fault}`` injection map (see
+            :class:`repro.service.jobs.ScheduleJob`).
+    """
+    from repro.machine import cydra5
+
+    machine = machine or cydra5()
+    started = time.perf_counter()
+    all_jobs = make_jobs(programs, algorithm=algorithm, options=options, faults=faults)
+
+    cache: Optional[ResultCache] = None
+    cached_results: List[JobResult] = []
+    pending: List[ScheduleJob] = all_jobs
+    if cache_dir is not None and use_cache:
+        cache = ResultCache(cache_dir)
+        pending = []
+        for job in all_jobs:
+            job.key = cache_key(job.program, machine, job.algorithm, job.options)
+            hit = cache.get(job.key)
+            if hit is not None and job.fault is None:
+                cached_results.append(
+                    JobResult(
+                        index=job.index,
+                        name=job.name,
+                        status=JOB_CACHED,
+                        metrics=hit,
+                    )
+                )
+            else:
+                pending.append(job)
+
+    computed, pool_stats = run_jobs(
+        pending,
+        machine,
+        workers=jobs,
+        timeout=timeout,
+        max_retries=max_retries,
+    )
+    if cache is not None:
+        for result in computed:
+            job = all_jobs[result.index]
+            if result.status == JOB_OK and result.metrics is not None and job.key:
+                cache.put(job.key, result.metrics)
+
+    report = BatchReport(
+        results=order_results(cached_results + list(computed)),
+        pool=pool_stats,
+        cache=cache.stats if cache is not None else None,
+        wall_seconds=time.perf_counter() - started,
+    )
+    _record_metrics(metrics, report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Source loading (files / directories / generated corpus)
+# ----------------------------------------------------------------------
+class BatchSourceError(Exception):
+    """A source file could not be read or parsed (CLI exits 2)."""
+
+
+def load_sources(paths: Sequence[str]) -> list:
+    """Parse loop-language files (or directories of ``*.loop`` files).
+
+    Raises :class:`BatchSourceError` with a one-line message naming the
+    offending file on any read or parse problem.
+    """
+    from repro.frontend.parser import ParseError, parse_loop
+
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            entries = sorted(
+                os.path.join(path, name)
+                for name in os.listdir(path)
+                if name.endswith(".loop")
+            )
+            if not entries:
+                raise BatchSourceError(f"{path}: directory contains no .loop files")
+            files.extend(entries)
+        else:
+            files.append(path)
+    programs = []
+    for path in files:
+        try:
+            with open(path) as handle:
+                source = handle.read()
+        except OSError as error:
+            raise BatchSourceError(f"{path}: {error.strerror or error}") from error
+        try:
+            programs.append(parse_loop(source))
+        except (ParseError, ValueError) as error:
+            raise BatchSourceError(f"{path}: {error}") from error
+    return programs
+
+
+def _parse_faults(specs: Optional[Sequence[str]]) -> Optional[Dict[int, str]]:
+    if not specs:
+        return None
+    faults: Dict[int, str] = {}
+    for spec in specs:
+        index, _, fault = spec.partition(":")
+        faults[int(index)] = fault
+    return faults
+
+
+# ----------------------------------------------------------------------
+# CLI (python -m repro batch ...)
+# ----------------------------------------------------------------------
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Schedule a corpus or loop files in parallel, with a "
+        "content-addressed result cache.",
+    )
+    parser.add_argument(
+        "sources",
+        nargs="*",
+        help="loop-language files or directories of *.loop files",
+    )
+    parser.add_argument(
+        "--corpus",
+        type=int,
+        metavar="N",
+        help="schedule the paper's generated N-loop corpus instead of files",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1993, help="corpus seed (default 1993)"
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (default: unlimited)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"content-addressed result cache root (default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache (no reads, no writes)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="slack",
+        help="scheduler algorithm (default slack)",
+    )
+    parser.add_argument(
+        "--load-latency",
+        type=int,
+        default=13,
+        help="memory latency register (default 13)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the per-loop LoopMetrics as a JSON array to PATH",
+    )
+    parser.add_argument(
+        "--inject",
+        action="append",
+        metavar="INDEX:FAULT",
+        help=argparse.SUPPRESS,  # fault injection: crash | raise | hang:N
+    )
+    return parser
+
+
+def batch_main(argv: Optional[List[str]] = None) -> int:
+    args = build_batch_parser().parse_args(argv)
+    from repro.core import ALGORITHMS
+    from repro.machine import cydra5
+
+    if args.algorithm not in ALGORITHMS:
+        print(
+            f"error: unknown algorithm {args.algorithm!r}; "
+            f"pick from {', '.join(sorted(ALGORITHMS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.corpus is not None and args.sources:
+        print("error: pass either --corpus N or source files, not both", file=sys.stderr)
+        return 2
+    if args.corpus is not None:
+        if args.corpus < 1:
+            print("error: --corpus must be positive", file=sys.stderr)
+            return 2
+        from repro.workloads import paper_corpus
+
+        programs = paper_corpus(args.corpus, seed=args.seed)
+    elif args.sources:
+        try:
+            programs = load_sources(args.sources)
+        except BatchSourceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        print("error: provide source files or --corpus N", file=sys.stderr)
+        return 2
+
+    report = run_batch(
+        programs,
+        machine=cydra5(load_latency=args.load_latency),
+        algorithm=args.algorithm,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        faults=_parse_faults(args.inject),
+    )
+    print(report.summary())
+    if args.out:
+        from repro.experiments.export import write_json
+
+        try:
+            write_json(report.loop_metrics, args.out)
+        except OSError as exc:
+            print(f"error: cannot write metrics to {args.out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"metrics: {len(report.loop_metrics)} records -> {args.out}")
+    return 0 if report.ok else 1
+
+
+# ----------------------------------------------------------------------
+# Bench scenario (BENCH_batch.json)
+# ----------------------------------------------------------------------
+def run_batch_bench(
+    scenario,
+    corpus_size: int = 60,
+    repeats: int = 3,
+    warmup: int = 1,
+    profile: bool = True,
+    memory: bool = False,
+    machine=None,
+    jobs: Optional[int] = None,
+) -> dict:
+    """Benchmark the service: parallel speedup + warm/cold cache time.
+
+    Matches :func:`repro.obs.bench.run_scenario`'s signature so the
+    bench CLI can drive it like any other scenario.  Wall-clock entries
+    are ``kind="time"`` (reported, not gated by default); cache-hit
+    counts and the schedule-quality aggregates are deterministic and
+    gate ``--fail-on-regress``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.machine import cydra5
+    from repro.obs.bench import (
+        BENCH_SCHEMA,
+        corpus_aggregates,
+        metric,
+        sample_stats,
+        wrap_payload,
+    )
+    from repro.workloads import paper_corpus
+
+    machine = machine or cydra5()
+    jobs = jobs or min(4, os.cpu_count() or 1)
+    programs = paper_corpus(corpus_size)
+
+    serial_samples: List[float] = []
+    parallel_samples: List[float] = []
+    loop_metrics = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        serial_report = run_batch(programs, machine, jobs=1, cache_dir=None)
+        serial_samples.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        report = run_batch(programs, machine, jobs=jobs, cache_dir=None)
+        parallel_samples.append(time.perf_counter() - started)
+        loop_metrics = report.loop_metrics
+
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        started = time.perf_counter()
+        cold = run_batch(programs, machine, jobs=jobs, cache_dir=cache_root)
+        cold_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_batch(programs, machine, jobs=jobs, cache_dir=cache_root)
+        warm_seconds = time.perf_counter() - started
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    serial_stats = sample_stats(serial_samples)
+    parallel_stats = sample_stats(parallel_samples)
+    serial_wall = serial_stats["median"]
+    parallel_wall = parallel_stats["median"]
+    metrics = {
+        "serial_wall_s": metric(
+            serial_wall, "s", direction="lower", kind="time",
+            iqr=serial_stats["iqr"],
+        ),
+        "parallel_wall_s": metric(
+            parallel_wall, "s", direction="lower", kind="time",
+            iqr=parallel_stats["iqr"],
+        ),
+        "parallel_speedup": metric(
+            serial_wall / parallel_wall if parallel_wall else 0.0,
+            "x", direction="higher", kind="time",
+        ),
+        "cold_cache_wall_s": metric(
+            cold_seconds, "s", direction="lower", kind="time"
+        ),
+        "warm_cache_wall_s": metric(
+            warm_seconds, "s", direction="lower", kind="time"
+        ),
+        "warm_cache_speedup": metric(
+            cold_seconds / warm_seconds if warm_seconds else 0.0,
+            "x", direction="higher", kind="time",
+        ),
+        "warm_cache_hits": metric(
+            warm.cache.hits if warm.cache else 0, "hits", direction="higher"
+        ),
+        "cold_cache_misses": metric(
+            cold.cache.misses if cold.cache else 0, "misses", direction="lower"
+        ),
+        "pool_utilization": metric(
+            cold.pool.utilization, "fraction", direction="higher", kind="time"
+        ),
+    }
+    metrics.update(corpus_aggregates(loop_metrics))
+    return wrap_payload(
+        BENCH_SCHEMA,
+        {
+            "scenario": scenario.name,
+            "description": scenario.description,
+            "algorithm": scenario.algorithm,
+            "corpus_size": len(programs),
+            "repeats": max(1, repeats),
+            "warmup": warmup,
+            "jobs": jobs,
+            "wall_time_samples_s": parallel_samples,
+            "serial_wall_time_samples_s": serial_samples,
+            "metrics": metrics,
+            "profile": None,
+        },
+    )

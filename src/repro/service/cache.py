@@ -1,0 +1,136 @@
+"""Content-addressed on-disk cache of per-loop scheduling results.
+
+Layout: one JSON blob per result at ``<root>/<key[:2]>/<key>.json``
+(two-level fan-out keeps directories small on big corpora).  Writes are
+atomic — the blob lands in a same-directory temp file and is
+``os.replace``d into place — so a crashed or parallel writer can never
+leave a half-written entry behind a valid name.  Reads are
+corruption-tolerant: any unreadable, unparsable, schema-mismatched or
+field-mismatched entry is treated as a miss and the caller recomputes
+(and overwrites) it.  The cache is therefore purely an accelerator; it
+can be deleted, truncated or corrupted at any time without changing
+results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.experiments.metrics import LoopMetrics
+
+#: Payload envelope identifiers; version bumps invalidate old entries.
+RESULT_SCHEMA = "repro.service.result"
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one cache's lifetime in this process."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0  # entries that existed but could not be trusted
+    writes: int = 0
+    write_errors: int = 0
+
+
+def metrics_to_payload(key: str, metrics: LoopMetrics) -> dict:
+    """Wrap a LoopMetrics into the on-disk JSON envelope."""
+    return {
+        "schema": RESULT_SCHEMA,
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "key": key,
+        "metrics": dataclasses.asdict(metrics),
+    }
+
+
+def payload_to_metrics(payload: dict) -> LoopMetrics:
+    """Strictly decode an envelope back into a LoopMetrics.
+
+    Raises ``ValueError`` on any mismatch — wrong schema, wrong version,
+    or a field set that does not exactly match the current dataclass
+    (e.g. an entry written by an older code revision).  Callers treat
+    the error as a cache miss.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("payload is not an object")
+    if payload.get("schema") != RESULT_SCHEMA:
+        raise ValueError(f"unexpected schema {payload.get('schema')!r}")
+    if payload.get("schema_version") != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {payload.get('schema_version')!r}"
+        )
+    record = payload.get("metrics")
+    if not isinstance(record, dict):
+        raise ValueError("missing metrics record")
+    expected = {field.name for field in dataclasses.fields(LoopMetrics)}
+    found = set(record)
+    if found != expected:
+        raise ValueError(
+            f"metrics fields do not match: missing {sorted(expected - found)}, "
+            f"unknown {sorted(found - expected)}"
+        )
+    return LoopMetrics(**record)
+
+
+class ResultCache:
+    """A content-addressed LoopMetrics cache rooted at one directory."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[LoopMetrics]:
+        """The cached result for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            metrics = payload_to_metrics(payload)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, TypeError) as _:
+            # Unreadable, truncated, hand-edited, or written by an
+            # incompatible revision: recompute rather than trust it.
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        self.stats.hits += 1
+        return metrics
+
+    def put(self, key: str, metrics: LoopMetrics) -> bool:
+        """Atomically store a result.  Best-effort: returns False (and
+        counts a write error) instead of raising when the filesystem
+        refuses — a cache that cannot be written degrades to recompute,
+        it never fails the batch."""
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=f".{key[:8]}.", suffix=".tmp", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(metrics_to_payload(key, metrics), handle, sort_keys=True)
+                    handle.write("\n")
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.stats.write_errors += 1
+            return False
+        self.stats.writes += 1
+        return True

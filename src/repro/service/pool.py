@@ -1,0 +1,330 @@
+"""Fault-tolerant worker pool for batch scheduling jobs.
+
+Execution ladder (most to least capable, degrading gracefully):
+
+1. ``ProcessPoolExecutor`` with ``workers`` processes.  Each job is
+   guarded *inside* the worker by a ``SIGALRM`` wall-clock budget, so a
+   slow loop returns a structured ``timeout`` result without poisoning
+   the pool.
+2. If a worker process dies (segfault, ``os._exit``, OOM kill) the pool
+   is broken; every job still missing a result is resubmitted to a
+   fresh pool after an exponential backoff, a bounded number of times.
+   A job that keeps killing its worker exhausts its retries and is
+   reported ``crashed`` — the rest of the batch still completes.
+3. A worker that hangs hard enough to ignore ``SIGALRM`` (stuck in a C
+   extension) trips the pool-side backstop deadline; unfinished jobs
+   are reported ``timeout`` and the stuck processes are abandoned.
+4. If process pools are unavailable at all (or ``workers <= 1``), jobs
+   run serially in-process — same results, no isolation.
+
+Results are deterministic regardless of the path taken: the scheduler
+itself is a pure function, and :func:`repro.service.jobs.order_results`
+restores submission order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import math
+import os
+import signal
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.jobs import (
+    JOB_CRASHED,
+    JOB_FAILED,
+    JOB_OK,
+    JOB_TIMEOUT,
+    JobResult,
+    ScheduleJob,
+    order_results,
+)
+
+#: Seconds of slack granted on top of the per-job budget before the
+#: pool-side backstop declares a worker unresponsive.
+BACKSTOP_GRACE = 5.0
+
+
+class _JobTimeoutError(Exception):
+    """Raised inside a worker when the SIGALRM budget expires."""
+
+
+def _raise_timeout(signum, frame):  # pragma: no cover - trivial
+    raise _JobTimeoutError()
+
+
+def _inject_fault(fault: str) -> None:
+    """Built-in fault injection (tests / resilience drills)."""
+    if fault == "crash":
+        os._exit(13)
+    if fault == "raise":
+        raise RuntimeError("injected fault: raise")
+    if fault.startswith("hang:"):
+        time.sleep(float(fault.split(":", 1)[1]))
+        return
+    raise ValueError(f"unknown fault {fault!r}")
+
+
+def execute_job(
+    job: ScheduleJob, machine, timeout: Optional[float] = None
+) -> JobResult:
+    """Run one job to a structured result; never raises.
+
+    The wall-clock budget uses ``SIGALRM`` and therefore only applies on
+    POSIX main threads (worker processes and the serial path both
+    qualify); elsewhere the pool-side backstop is the only guard.
+    """
+    # Deferred import: repro.experiments.runner lazily imports this
+    # package for its jobs= path, so a module-level import would cycle.
+    from repro.experiments.runner import measure_loop
+
+    started = time.perf_counter()
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous_handler = None
+    metrics = None
+    try:
+        if use_alarm:
+            previous_handler = signal.signal(signal.SIGALRM, _raise_timeout)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        if job.fault:
+            _inject_fault(job.fault)
+        metrics = measure_loop(
+            job.program, machine, algorithm=job.algorithm, options=job.options
+        )
+        status, error = JOB_OK, None
+    except _JobTimeoutError:
+        status, error = JOB_TIMEOUT, f"exceeded {timeout:.4g}s wall-clock budget"
+    except Exception as exc:  # job faults must not take down the batch
+        status, error = JOB_FAILED, f"{type(exc).__name__}: {exc}"
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+    return JobResult(
+        index=job.index,
+        name=job.name,
+        status=status,
+        metrics=metrics,
+        error=error,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def _pool_worker(payload: Tuple[ScheduleJob, object, Optional[float]]) -> JobResult:
+    """Top-level worker entry point (must be picklable by name)."""
+    job, machine, timeout = payload
+    return execute_job(job, machine, timeout)
+
+
+@dataclasses.dataclass
+class PoolStats:
+    """What the pool did: throughput, faults, recovery effort."""
+
+    workers: int
+    jobs: int
+    ok: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    retries: int = 0  # crash-recovery resubmissions across all jobs
+    rebuilds: int = 0  # pools torn down and recreated after breakage
+    fallback_serial: bool = False
+    busy_seconds: float = 0.0  # sum of worker-side job wall times
+    wall_seconds: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker capacity spent running jobs (0..1)."""
+        capacity = self.wall_seconds * max(1, self.workers)
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / capacity)
+
+
+def _tally(stats: PoolStats, results: Sequence[JobResult]) -> None:
+    for result in results:
+        stats.busy_seconds += result.seconds
+        if result.status == JOB_OK:
+            stats.ok += 1
+        elif result.status == JOB_FAILED:
+            stats.failed += 1
+        elif result.status == JOB_TIMEOUT:
+            stats.timeouts += 1
+        elif result.status == JOB_CRASHED:
+            stats.crashes += 1
+
+
+def _run_serial(
+    jobs: Sequence[ScheduleJob], machine, timeout: Optional[float]
+) -> List[JobResult]:
+    return [execute_job(job, machine, timeout) for job in jobs]
+
+
+def run_jobs(
+    jobs: Sequence[ScheduleJob],
+    machine,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    backoff: float = 0.1,
+) -> Tuple[List[JobResult], PoolStats]:
+    """Execute every job; return (results in submission order, stats).
+
+    ``max_retries`` bounds how many times a job may be resubmitted after
+    its pool broke underneath it; ``backoff`` seconds (doubling per
+    rebuild) separate pool rebuilds so a crash-looping job cannot spin
+    the host.
+    """
+    stats = PoolStats(workers=max(1, workers), jobs=len(jobs))
+    started = time.perf_counter()
+    if workers <= 1 or len(jobs) <= 1:
+        results = _run_serial(jobs, machine, timeout)
+        stats.fallback_serial = workers <= 1
+        stats.wall_seconds = time.perf_counter() - started
+        _tally(stats, results)
+        return order_results(results), stats
+
+    results: Dict[int, JobResult] = {}
+    pending: List[ScheduleJob] = list(jobs)
+    while pending:
+        try:
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            )
+        except (OSError, ValueError, RuntimeError):
+            # Degradation ladder, final rung: no subprocesses available.
+            stats.fallback_serial = True
+            for job in pending:
+                results[job.index] = execute_job(job, machine, timeout)
+            pending = []
+            break
+
+        broken = False
+        hung = False
+        try:
+            futures = {
+                executor.submit(_pool_worker, (job, machine, timeout)): job
+                for job in pending
+            }
+            backstop = None
+            if timeout is not None and timeout > 0:
+                waves = math.ceil(len(pending) / max(1, workers))
+                backstop = waves * (timeout + BACKSTOP_GRACE) + BACKSTOP_GRACE
+            try:
+                for future in concurrent.futures.as_completed(futures, timeout=backstop):
+                    job = futures[future]
+                    try:
+                        result = future.result()
+                    except concurrent.futures.process.BrokenProcessPool:
+                        broken = True
+                        continue  # other done futures may still hold results
+                    except concurrent.futures.CancelledError:
+                        continue
+                    results[job.index] = result
+            except concurrent.futures.TimeoutError:
+                # SIGALRM-immune hang: give up on everything unfinished.
+                hung = True
+                for future, job in futures.items():
+                    if job.index in results:
+                        continue
+                    if future.done() and not future.cancelled():
+                        continue  # re-run next round; results are pure
+                    results[job.index] = JobResult(
+                        index=job.index,
+                        name=job.name,
+                        status=JOB_TIMEOUT,
+                        error="backstop: worker unresponsive past its budget",
+                    )
+        finally:
+            # Never block on a broken pool or a hung worker; abandoning
+            # the stuck process is the price of finishing the batch.
+            executor.shutdown(wait=not (broken or hung), cancel_futures=True)
+
+        pending = [job for job in jobs if job.index not in results]
+        if pending and broken:
+            # A worker died and took the shared pool with it.  Which job
+            # killed it is unknowable from here, so blame nobody:
+            # quarantine every unfinished job in its own single-worker
+            # pool, where a repeat offender can only crash itself.
+            stats.rebuilds += 1
+            for job in pending:
+                results[job.index] = _run_quarantined(
+                    job, machine, timeout, max_retries, backoff, stats
+                )
+            pending = []
+
+    stats.wall_seconds = time.perf_counter() - started
+    ordered = order_results(list(results.values()))
+    _tally(stats, ordered)
+    return ordered, stats
+
+
+def _run_quarantined(
+    job: ScheduleJob,
+    machine,
+    timeout: Optional[float],
+    max_retries: int,
+    backoff: float,
+    stats: PoolStats,
+) -> JobResult:
+    """Run one job in an isolated single-worker pool, retrying crashes.
+
+    Isolation turns "some worker died" into "THIS job kills workers":
+    after ``max_retries`` resubmissions (with doubling backoff) the job
+    is reported ``crashed`` without having disturbed any other job.
+    """
+    attempt = 0
+    while True:
+        try:
+            executor = concurrent.futures.ProcessPoolExecutor(max_workers=1)
+        except (OSError, ValueError, RuntimeError):
+            stats.fallback_serial = True
+            return dataclasses.replace(
+                execute_job(job, machine, timeout), retries=attempt
+            )
+        hung = False
+        broken = False
+        try:
+            future = executor.submit(_pool_worker, (job, machine, timeout))
+            backstop = (
+                timeout + BACKSTOP_GRACE
+                if timeout is not None and timeout > 0
+                else None
+            )
+            try:
+                return dataclasses.replace(
+                    future.result(timeout=backstop), retries=attempt
+                )
+            except concurrent.futures.TimeoutError:
+                hung = True
+                return JobResult(
+                    index=job.index,
+                    name=job.name,
+                    status=JOB_TIMEOUT,
+                    error="backstop: worker unresponsive past its budget",
+                    retries=attempt,
+                )
+            except concurrent.futures.process.BrokenProcessPool:
+                broken = True
+        finally:
+            executor.shutdown(wait=not (broken or hung), cancel_futures=True)
+        attempt += 1
+        if attempt > max_retries:
+            return JobResult(
+                index=job.index,
+                name=job.name,
+                status=JOB_CRASHED,
+                error=f"worker died; gave up after {max_retries} resubmission(s)",
+                retries=attempt - 1,
+            )
+        stats.retries += 1
+        if backoff > 0:
+            time.sleep(min(5.0, backoff * (2 ** (attempt - 1))))

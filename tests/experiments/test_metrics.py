@@ -47,6 +47,34 @@ def test_pressure_gap():
     assert _metric(max_live=8, min_avg=8).pressure_gap == 0
 
 
+def _failed_metric():
+    return _metric(
+        success=False,
+        span=None,
+        stages=None,
+        max_live=None,
+        min_avg=None,
+        icr=None,
+        failure_reason="attempts_exhausted",
+    )
+
+
+def test_failure_uses_none_not_zero():
+    """A loop that failed to pipeline must stay distinguishable from a
+    loop that measured a real 0."""
+    failed = _failed_metric()
+    assert failed.pressure_gap is None
+    assert failed.max_live is None and failed.span is None
+    assert failed.failure_reason == "attempts_exhausted"
+    # A genuine measured zero is NOT conflated with failure.
+    zero = _metric(max_live=8, min_avg=8)
+    assert zero.pressure_gap == 0 and zero.failure_reason is None
+
+
+def test_failure_reason_defaults_to_none_on_success():
+    assert _metric().failure_reason is None
+
+
 def test_backtracked():
     assert not _metric(ejections=0).backtracked
     assert _metric(ejections=3).backtracked

@@ -50,6 +50,40 @@ def test_measure_loop_records_consistent_fields():
     assert metrics.placements >= metrics.n_ops
 
 
+def test_measure_loop_failure_uses_sentinels_not_zeros():
+    """Forcing a failure (impossible register budget) must yield None
+    schedule-derived fields and a failure_reason, never fake zeros."""
+    from repro.core import SchedulerOptions
+
+    metrics = measure_loop(
+        kernel5_tridiag(),
+        MACHINE,
+        options=SchedulerOptions(max_attempts=1, max_rr_pressure=1),
+    )
+    assert not metrics.success
+    assert metrics.failure_reason == "attempts_exhausted"
+    assert metrics.span is None and metrics.stages is None
+    assert metrics.max_live is None and metrics.min_avg is None
+    assert metrics.icr is None and metrics.pressure_gap is None
+    assert metrics.ii >= metrics.mii  # last *attempted* II is recorded
+
+
+def test_table3_reports_failure_reasons():
+    from repro.core import SchedulerOptions
+
+    ok = [measure_loop(k, MACHINE) for k in (kernel3_inner_product(),)]
+    failed = [
+        measure_loop(
+            kernel5_tridiag(),
+            MACHINE,
+            options=SchedulerOptions(max_attempts=1, max_rr_pressure=1),
+        )
+    ]
+    text = table3(ok + failed)
+    assert "1 failed to pipeline" in text
+    assert "attempts_exhausted x1" in text
+
+
 def test_classification_of_known_kernels():
     cases = [
         (kernel3_inner_product(), "neither"),  # plain reduction

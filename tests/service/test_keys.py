@@ -1,0 +1,108 @@
+"""Cache-key stability and sensitivity (repro.service.keys)."""
+
+import dataclasses
+import json
+import os
+import re
+import subprocess
+import sys
+
+from repro.core import SchedulerOptions
+from repro.machine import cydra5
+from repro.service.keys import (
+    cache_key,
+    canonical_program,
+    canonical_request,
+    request_json,
+)
+from repro.workloads import named_kernels
+from repro.workloads.livermore import kernel3_inner_product
+
+MACHINE = cydra5()
+
+
+def test_key_shape_and_determinism():
+    program = kernel3_inner_product()
+    key = cache_key(program, MACHINE)
+    assert re.fullmatch(r"[0-9a-f]{64}", key)
+    assert key == cache_key(program, MACHINE)
+    # A freshly rebuilt identical program hashes identically too.
+    assert key == cache_key(kernel3_inner_product(), MACHINE)
+
+
+def test_key_covers_every_input():
+    program = kernel3_inner_product()
+    base = cache_key(program, MACHINE, "slack", None)
+    # Program identity.
+    renamed = dataclasses.replace(program, name="other")
+    assert cache_key(renamed, MACHINE) != base
+    retripped = dataclasses.replace(program, trip=program.trip + 1)
+    assert cache_key(retripped, MACHINE) != base
+    # Machine description.
+    assert cache_key(program, cydra5(load_latency=7)) != base
+    # Algorithm.
+    assert cache_key(program, MACHINE, "cydrome") != base
+    # Options: None (driver defaults) is distinct from explicit options.
+    assert cache_key(program, MACHINE, "slack", SchedulerOptions()) != base
+    assert (
+        cache_key(program, MACHINE, "slack", SchedulerOptions(max_attempts=3))
+        != cache_key(program, MACHINE, "slack", SchedulerOptions())
+    )
+
+
+def test_distinct_corpus_programs_get_distinct_keys():
+    keys = {cache_key(p, MACHINE) for p in named_kernels()}
+    assert len(keys) == len(named_kernels())
+
+
+def test_loop_body_canonicalization(figure1_loop):
+    canon = canonical_program(figure1_loop)
+    assert canon["kind"] == "loopbody"
+    # Canonical form is pure JSON (round-trips) and key-stable.
+    assert json.loads(json.dumps(canon, sort_keys=True)) == canon
+    assert cache_key(figure1_loop, MACHINE) == cache_key(figure1_loop, MACHINE)
+
+
+def test_request_json_is_sorted_and_nan_free():
+    text = request_json(kernel3_inner_product(), MACHINE)
+    payload = json.loads(text)
+    assert payload["schema_version"] == canonical_request(
+        kernel3_inner_product(), MACHINE
+    )["schema_version"]
+    # Re-dumping with sorted keys reproduces the exact bytes.
+    assert json.dumps(payload, sort_keys=True, separators=(",", ":")) == text
+
+
+_SUBPROCESS_SCRIPT = """
+from repro.machine import cydra5
+from repro.core import SchedulerOptions
+from repro.service.keys import cache_key
+from repro.workloads import named_kernels
+machine = cydra5()
+for program in named_kernels()[:6]:
+    print(cache_key(program, machine, "slack", SchedulerOptions()))
+"""
+
+
+def _keys_under_hashseed(seed: str):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.splitlines()
+
+
+def test_keys_independent_of_pythonhashseed():
+    """Cross-process property: keys are byte-identical under different
+    PYTHONHASHSEED values (no reliance on hash()/set/dict order)."""
+    first = _keys_under_hashseed("0")
+    second = _keys_under_hashseed("4242")
+    assert first and first == second

@@ -1,0 +1,100 @@
+"""Worker-pool fault tolerance and determinism (repro.service.pool)."""
+
+import concurrent.futures
+
+import pytest
+
+from repro.experiments.export import to_json
+from repro.machine import cydra5
+from repro.service.jobs import (
+    JOB_CRASHED,
+    JOB_FAILED,
+    JOB_OK,
+    JOB_TIMEOUT,
+    make_jobs,
+)
+from repro.service.pool import execute_job, run_jobs
+from repro.workloads import paper_corpus
+
+MACHINE = cydra5()
+
+
+def _corpus(n):
+    return paper_corpus(n)
+
+
+def test_serial_path_preserves_order_and_statuses():
+    jobs = make_jobs(_corpus(5))
+    results, stats = run_jobs(jobs, MACHINE, workers=1)
+    assert [r.index for r in results] == [0, 1, 2, 3, 4]
+    assert all(r.status == JOB_OK and r.metrics is not None for r in results)
+    assert stats.fallback_serial and stats.ok == 5
+
+
+def test_parallel_matches_serial_byte_for_byte():
+    programs = _corpus(8)
+    serial, _ = run_jobs(make_jobs(programs), MACHINE, workers=1)
+    parallel, stats = run_jobs(make_jobs(programs), MACHINE, workers=4)
+    assert not stats.fallback_serial
+    serial_json = to_json([r.metrics for r in serial], drop_timings=True)
+    parallel_json = to_json([r.metrics for r in parallel], drop_timings=True)
+    assert serial_json == parallel_json
+
+
+def test_timeout_reported_without_losing_batch():
+    jobs = make_jobs(_corpus(4), faults={1: "hang:30"})
+    results, stats = run_jobs(jobs, MACHINE, workers=2, timeout=1.0)
+    assert results[1].status == JOB_TIMEOUT
+    assert "budget" in results[1].error
+    others = [r for r in results if r.index != 1]
+    assert all(r.status == JOB_OK for r in others)
+    assert stats.timeouts == 1 and stats.ok == 3
+
+
+def test_crash_quarantined_others_survive():
+    jobs = make_jobs(_corpus(4), faults={2: "crash"})
+    results, stats = run_jobs(
+        jobs, MACHINE, workers=2, timeout=20.0, max_retries=1, backoff=0.01
+    )
+    assert results[2].status == JOB_CRASHED
+    assert "worker died" in results[2].error
+    others = [r for r in results if r.index != 2]
+    assert all(r.status == JOB_OK for r in others)
+    assert stats.crashes == 1 and stats.ok == 3
+    assert stats.rebuilds >= 1
+    assert results[2].retries == 1  # bounded resubmissions, then gave up
+
+
+def test_raise_is_failed_not_crashed():
+    jobs = make_jobs(_corpus(3), faults={0: "raise"})
+    results, stats = run_jobs(jobs, MACHINE, workers=2, timeout=20.0)
+    assert results[0].status == JOB_FAILED
+    assert "injected fault" in results[0].error
+    assert stats.failed == 1 and stats.ok == 2
+
+
+def test_unavailable_pool_degrades_to_serial(monkeypatch):
+    def _refuse(*args, **kwargs):
+        raise OSError("no subprocess support here")
+
+    monkeypatch.setattr(
+        concurrent.futures, "ProcessPoolExecutor", _refuse
+    )
+    jobs = make_jobs(_corpus(3))
+    results, stats = run_jobs(jobs, MACHINE, workers=4)
+    assert stats.fallback_serial
+    assert all(r.status == JOB_OK for r in results)
+
+
+def test_execute_job_never_raises_on_bad_program():
+    jobs = make_jobs([object()])  # not a loop at all
+    result = execute_job(jobs[0], MACHINE)
+    assert result.status == JOB_FAILED and result.error
+
+
+def test_in_process_timeout_via_sigalrm():
+    pytest.importorskip("signal")
+    jobs = make_jobs(_corpus(1), faults={0: "hang:30"})
+    result = execute_job(jobs[0], MACHINE, timeout=0.2)
+    assert result.status == JOB_TIMEOUT
+    assert result.seconds < 5.0
