@@ -6,6 +6,8 @@
     python -m repro --demo --trace t.jsonl --explain   # observability
     python -m repro bench             # benchmark harness -> BENCH_*.json
     python -m repro batch --corpus 60 --jobs 4         # scheduling service
+    python -m repro batch --corpus 60 --jobs 4 --trace t.jsonl --cache-db r.sqlite
+    python -m repro batch --gc --max-cache-bytes 500M  # cache eviction
 
 Prints lower bounds, the found schedule, register pressure against the
 MinAvg bound, optionally the generated kernel-only VLIW code, and
@@ -25,6 +27,15 @@ The ``bench`` subcommand runs named scenarios under a common protocol
 ``BENCH_<scenario>.json``; ``bench --compare OLD NEW
 [--fail-on-regress]`` diffs two result sets with a noise-aware
 threshold (see ``repro.obs.bench`` / ``repro.obs.regress``).
+
+The ``batch`` subcommand schedules corpora as a service: pluggable
+execution backends (``--backend serial|process|chunked``, ``--jobs``,
+``--chunk-size``), a content-addressed result cache in either a fan-out
+directory (``--cache-dir``) or a single sqlite file (``--cache-db``),
+cache eviction (``--gc --max-cache-bytes/--max-cache-age``),
+heterogeneous machine sweeps (``--sweep-load-latency 2,13,27``), and a
+merged cross-process scheduler trace (``--trace``) that is identical at
+any ``--jobs`` level.
 """
 
 from __future__ import annotations

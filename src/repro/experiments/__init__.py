@@ -12,7 +12,12 @@ from repro.experiments.figures import (
 from repro.experiments.metrics import LoopMetrics, percentile, quantile_row
 from repro.experiments.export import metrics_fieldnames, to_csv, to_json, write_csv, write_json
 from repro.experiments.report import full_report
-from repro.experiments.runner import classify, measure_loop, run_corpus
+from repro.experiments.runner import (
+    classify,
+    measure_loop,
+    run_corpus,
+    run_corpus_sweep,
+)
 from repro.experiments.tables import (
     scheduling_performance,
     section6_effort,
@@ -41,6 +46,7 @@ __all__ = [
     "classify",
     "measure_loop",
     "run_corpus",
+    "run_corpus_sweep",
     "scheduling_performance",
     "section6_effort",
     "table2",

@@ -146,20 +146,32 @@ def run_corpus(
     profiler: Optional[Profiler] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    cache_db: Optional[str] = None,
     timeout: Optional[float] = None,
+    machines=None,
+    backend: str = "auto",
 ) -> List[LoopMetrics]:
     """Measure a whole corpus with one scheduler configuration.
 
-    ``jobs`` > 1 or a ``cache_dir`` routes the corpus through the batch
-    scheduling service (:mod:`repro.service`): worker processes, per-job
-    ``timeout``, and a content-addressed result cache.  The service path
-    returns metrics in the same order with identical values; per-loop
-    ``tracer``/``profiler`` hooks do not cross process boundaries and
-    are ignored there (``metrics`` still receives ``service.*``
-    aggregates).
+    ``jobs`` > 1, a cache location, per-loop ``machines`` or an explicit
+    ``backend`` routes the corpus through the batch scheduling service
+    (:mod:`repro.service`): worker processes, per-job ``timeout``, and a
+    content-addressed result cache (directory or sqlite).  The service
+    path returns metrics in the same order with identical values.
+    ``tracer``/``profiler`` hooks cross process boundaries via per-job
+    spool files merged in submission order, so observability is
+    identical at any job count (modulo timestamps); ``metrics``
+    additionally receives ``service.*`` aggregates.
     """
     machine = machine or cydra5()
-    if jobs != 1 or cache_dir is not None:
+    use_service = (
+        jobs != 1
+        or cache_dir is not None
+        or cache_db is not None
+        or machines is not None
+        or backend != "auto"
+    )
+    if use_service:
         from repro.service import run_batch
 
         report = run_batch(
@@ -170,7 +182,12 @@ def run_corpus(
             jobs=jobs,
             timeout=timeout,
             cache_dir=cache_dir,
+            cache_db=cache_db,
             metrics=metrics,
+            machines=machines,
+            backend=backend,
+            tracer=tracer,
+            profiler=profiler,
         )
         missing = [r for r in report.results if r.metrics is None]
         if missing:
@@ -188,3 +205,44 @@ def run_corpus(
         )
         for program in programs
     ]
+
+
+def run_corpus_sweep(
+    programs,
+    machines,
+    algorithm: str = "slack",
+    options: Optional[SchedulerOptions] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    cache_db: Optional[str] = None,
+    timeout: Optional[float] = None,
+    backend: str = "auto",
+) -> List[List[LoopMetrics]]:
+    """Measure one corpus under several machines as ONE heterogeneous batch.
+
+    Returns one metrics list per machine, each ordered like ``programs``
+    — the same shape as calling :func:`run_corpus` once per machine,
+    but submitted as a single batch so the parallel backends interleave
+    work across configurations (and the worker-resident machine cache
+    holds every machine at once).  Each (program, machine) pair keeps
+    its own cache key, so sweeps are warm-cacheable per configuration.
+    """
+    programs = list(programs)
+    machines = list(machines)
+    flat_programs = [program for _ in machines for program in programs]
+    flat_machines = [m for m in machines for _ in programs]
+    flat = run_corpus(
+        flat_programs,
+        algorithm=algorithm,
+        options=options,
+        metrics=metrics,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        cache_db=cache_db,
+        timeout=timeout,
+        machines=flat_machines,
+        backend=backend,
+    )
+    n = len(programs)
+    return [flat[i * n : (i + 1) * n] for i in range(len(machines))]

@@ -151,6 +151,46 @@ class MetricsRegistry:
             },
         }
 
+    def dump(self) -> dict:
+        """Full-fidelity dump for cross-process merging.
+
+        Unlike :meth:`snapshot` (which summarizes histograms for human
+        and JSON consumption), ``dump`` keeps raw histogram values so a
+        parent process can fold a worker's registry into its own without
+        losing distribution data.  Inverse: :meth:`merge_dump`.
+        """
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "timers": {
+                name: {"seconds": t.seconds, "count": t.count}
+                for name, t in sorted(self._timers.items())
+            },
+            "histogram_values": {
+                name: list(h.values) for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_dump(self, dump: dict) -> None:
+        """Fold a :meth:`dump` (typically from a worker process) in.
+
+        Counters and timers accumulate, histograms extend with the raw
+        values, gauges are last-write-wins (callers merge in submission
+        order, so the result is deterministic).
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, entry in dump.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.seconds += entry["seconds"]
+            timer.count += entry["count"]
+        for name, values in dump.get("histogram_values", {}).items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.record(value)
+
     def render(self) -> str:
         """Readable block: one line per instrument."""
         lines = ["metrics:"]

@@ -176,6 +176,26 @@ class Profiler:
         for name, value in other._counters.items():
             self.count(name, value)
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. from a worker process) in.
+
+        Span stats and counters accumulate; peak memory takes the max
+        (concurrent workers do not share an allocator, so summing would
+        overstate any single process's footprint).
+        """
+        for path, entry in snapshot.get("spans", {}).items():
+            mine = self._stats.get(path)
+            if mine is None:
+                mine = self._stats[path] = _SpanStat()
+            mine.calls += entry["calls"]
+            mine.cum_seconds += entry["cum_seconds"]
+            mine.self_seconds += entry["self_seconds"]
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        peak = snapshot.get("peak_memory_bytes")
+        if peak is not None:
+            self.peak_memory_bytes = max(self.peak_memory_bytes or 0, peak)
+
     def report(self, limit: int = 0) -> str:
         """ASCII self/cumulative table in call-tree order.
 

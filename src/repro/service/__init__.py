@@ -1,4 +1,4 @@
-"""Batch scheduling service: parallel workers + content-addressed cache.
+"""Batch scheduling service: pluggable backends + multi-backend cache.
 
 The scheduler itself is a pure function from ``(loop, machine,
 algorithm, options)`` to a schedule, which makes it an ideal service
@@ -8,22 +8,48 @@ regression runs.  This package turns :func:`repro.experiments.runner.
 measure_loop` into exactly that service:
 
 - :mod:`repro.service.keys` — canonical, ``PYTHONHASHSEED``-independent
-  serialization of a scheduling request into a stable SHA-256 cache key;
-- :mod:`repro.service.cache` — content-addressed on-disk cache of
-  :class:`~repro.experiments.metrics.LoopMetrics` results with atomic
-  writes and corruption-tolerant reads;
+  serialization of a scheduling request into a stable SHA-256 cache key
+  (programs, options, and whole machine descriptions);
+- :mod:`repro.service.cache` — the :class:`CacheBackend` protocol with
+  two content-addressed stores (fan-out directory, single-file sqlite
+  in WAL mode), plus one garbage collector written against the
+  protocol;
 - :mod:`repro.service.jobs` — job/result records with an explicit
-  status (``ok | failed | timeout | crashed | cached``) and
-  deterministic result ordering;
-- :mod:`repro.service.pool` — a fault-tolerant ``ProcessPoolExecutor``
-  worker pool with per-job wall-clock timeouts, bounded retry with
-  backoff after worker crashes, and graceful degradation to in-process
-  serial execution;
+  status (``ok | failed | timeout | crashed | cached``), optional
+  per-job machines for heterogeneous sweeps, and deterministic result
+  ordering;
+- :mod:`repro.service.pool` — shared pool machinery: in-worker
+  wall-clock budgets, crash quarantine with bounded retry, graceful
+  degradation to in-process serial execution, observability spooling;
+- :mod:`repro.service.backends` — the :class:`ExecutionBackend`
+  strategies: serial in-process, per-job process pool, and the chunked
+  pool that keeps deserialized machines resident in workers;
+- :mod:`repro.service.spool` — per-job observability spool files
+  merged in submission order, so ``--trace``/``--explain`` cross
+  process boundaries deterministically;
 - :mod:`repro.service.batch` — the batch front end
   (``python -m repro batch``) tying the above together.
 """
 
-from repro.service.cache import CacheStats, ResultCache
+from repro.service.backends import (
+    BACKEND_NAMES,
+    ChunkedProcessBackend,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.service.cache import (
+    CacheBackend,
+    CacheEntry,
+    CacheStats,
+    DirectoryCache,
+    GCReport,
+    ResultCache,
+    SQLiteCache,
+    collect_garbage,
+    open_cache,
+)
 from repro.service.jobs import (
     JOB_CACHED,
     JOB_CRASHED,
@@ -43,13 +69,28 @@ from repro.service.keys import (
     canonical_options,
     canonical_program,
     canonical_request,
+    machine_digest,
 )
 from repro.service.pool import PoolStats, run_jobs
+from repro.service.spool import SpoolMergeStats, merge_spools, write_spool
 from repro.service.batch import BatchReport, batch_main, run_batch
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ChunkedProcessBackend",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "resolve_backend",
+    "CacheBackend",
+    "CacheEntry",
     "CacheStats",
+    "DirectoryCache",
+    "GCReport",
     "ResultCache",
+    "SQLiteCache",
+    "collect_garbage",
+    "open_cache",
     "JOB_CACHED",
     "JOB_CRASHED",
     "JOB_FAILED",
@@ -66,8 +107,12 @@ __all__ = [
     "canonical_options",
     "canonical_program",
     "canonical_request",
+    "machine_digest",
     "PoolStats",
     "run_jobs",
+    "SpoolMergeStats",
+    "merge_spools",
+    "write_spool",
     "BatchReport",
     "batch_main",
     "run_batch",

@@ -1,0 +1,452 @@
+"""Pluggable execution backends for the batch scheduling service.
+
+An :class:`ExecutionBackend` turns a list of :class:`ScheduleJob`\\ s
+into submission-ordered :class:`JobResult`\\ s plus a
+:class:`PoolStats`.  Three strategies ship:
+
+``SerialBackend``
+    In-process loop.  No isolation, no pickling; the baseline every
+    other backend must match byte-for-byte (modulo wall-clock fields).
+
+``ProcessBackend``
+    One future per job on a ``ProcessPoolExecutor`` — the PR-3
+    behavior, refactored out of ``pool.run_jobs``.  Every payload
+    pickles the job's whole ``(program, machine)``, which is what made
+    small-corpus speedup ~1.1×: the machine description dwarfs most
+    loop bodies.
+
+``ChunkedProcessBackend``
+    Jobs are submitted in per-worker *chunks* and machines are shipped
+    once per worker through the pool initializer, keyed by
+    :func:`repro.service.keys.machine_digest`.  A worker deserializes
+    each distinct machine exactly once and every chunk payload carries
+    only digests, so the dominant per-job pickling cost becomes
+    O(distinct machines × workers) instead of O(jobs).  Chunking also
+    amortizes executor future overhead.  Heterogeneous batches (per-job
+    machines) ride the same table: jobs referencing the same machine
+    share the worker-resident copy regardless of interleaving.
+
+All three speak the same fault-tolerance protocol (in-worker ``SIGALRM``
+budgets, pool-side backstop, crash quarantine with bounded backoff —
+see :mod:`repro.service.pool`) and the same observability protocol
+(per-job spool files, see :mod:`repro.service.spool`), so results,
+merged traces and merged metrics are identical across backends and
+chunk sizes; only wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import math
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.jobs import (
+    JOB_FAILED,
+    JOB_TIMEOUT,
+    JobResult,
+    ScheduleJob,
+    order_results,
+)
+from repro.service.pool import (
+    BACKSTOP_GRACE,
+    PoolStats,
+    _pool_worker,
+    _tally,
+    execute_job,
+    run_quarantined,
+)
+
+#: Names accepted by :func:`resolve_backend` (and the CLI ``--backend``).
+BACKEND_NAMES = ("auto", "serial", "process", "chunked")
+
+#: Chunked backend: target this many chunks per worker so a slow chunk
+#: cannot idle the rest of the pool for long (work stealing granularity).
+CHUNKS_PER_WORKER = 4
+
+
+class ExecutionBackend:
+    """Strategy protocol: execute jobs, return ordered results + stats."""
+
+    name: str = "?"
+
+    def run(
+        self,
+        jobs: Sequence[ScheduleJob],
+        machine,
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff: float = 0.1,
+        spool_dir: Optional[str] = None,
+    ) -> Tuple[List[JobResult], PoolStats]:
+        raise NotImplementedError
+
+
+def _finish(
+    stats: PoolStats, results: List[JobResult], started: float
+) -> Tuple[List[JobResult], PoolStats]:
+    import time
+
+    stats.wall_seconds = time.perf_counter() - started
+    ordered = order_results(results)
+    _tally(stats, ordered)
+    return ordered, stats
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution: the fallback rung and the jobs=1 default."""
+
+    name = "serial"
+
+    def run(
+        self,
+        jobs: Sequence[ScheduleJob],
+        machine,
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff: float = 0.1,
+        spool_dir: Optional[str] = None,
+    ) -> Tuple[List[JobResult], PoolStats]:
+        import time
+
+        stats = PoolStats(
+            workers=1, jobs=len(jobs), backend=self.name, fallback_serial=True
+        )
+        started = time.perf_counter()
+        results = [
+            execute_job(job, machine, timeout, spool_dir=spool_dir) for job in jobs
+        ]
+        return _finish(stats, results, started)
+
+
+class ProcessBackend(ExecutionBackend):
+    """One future per job on a process pool (whole request pickled)."""
+
+    name = "process"
+
+    def __init__(self, workers: int):
+        self.workers = max(1, workers)
+
+    def run(
+        self,
+        jobs: Sequence[ScheduleJob],
+        machine,
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff: float = 0.1,
+        spool_dir: Optional[str] = None,
+    ) -> Tuple[List[JobResult], PoolStats]:
+        import time
+
+        stats = PoolStats(workers=self.workers, jobs=len(jobs), backend=self.name)
+        started = time.perf_counter()
+        if self.workers <= 1 or len(jobs) <= 1:
+            stats.fallback_serial = self.workers <= 1
+            results = [
+                execute_job(job, machine, timeout, spool_dir=spool_dir)
+                for job in jobs
+            ]
+            return _finish(stats, results, started)
+
+        results: Dict[int, JobResult] = {}
+        pending: List[ScheduleJob] = list(jobs)
+        while pending:
+            try:
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pending))
+                )
+            except (OSError, ValueError, RuntimeError):
+                # Degradation ladder, final rung: no subprocesses available.
+                stats.fallback_serial = True
+                for job in pending:
+                    results[job.index] = execute_job(
+                        job, machine, timeout, spool_dir=spool_dir
+                    )
+                pending = []
+                break
+
+            broken = False
+            hung = False
+            try:
+                futures = {
+                    executor.submit(
+                        _pool_worker, (job, machine, timeout, spool_dir)
+                    ): job
+                    for job in pending
+                }
+                backstop = None
+                if timeout is not None and timeout > 0:
+                    waves = math.ceil(len(pending) / max(1, self.workers))
+                    backstop = waves * (timeout + BACKSTOP_GRACE) + BACKSTOP_GRACE
+                try:
+                    for future in concurrent.futures.as_completed(
+                        futures, timeout=backstop
+                    ):
+                        job = futures[future]
+                        try:
+                            result = future.result()
+                        except concurrent.futures.process.BrokenProcessPool:
+                            broken = True
+                            continue  # other done futures may still hold results
+                        except concurrent.futures.CancelledError:
+                            continue
+                        results[job.index] = result
+                except concurrent.futures.TimeoutError:
+                    # SIGALRM-immune hang: give up on everything unfinished.
+                    hung = True
+                    for future, job in futures.items():
+                        if job.index in results:
+                            continue
+                        if future.done() and not future.cancelled():
+                            continue  # re-run next round; results are pure
+                        results[job.index] = JobResult(
+                            index=job.index,
+                            name=job.name,
+                            status=JOB_TIMEOUT,
+                            error="backstop: worker unresponsive past its budget",
+                        )
+            finally:
+                # Never block on a broken pool or a hung worker; abandoning
+                # the stuck process is the price of finishing the batch.
+                executor.shutdown(wait=not (broken or hung), cancel_futures=True)
+
+            pending = [job for job in jobs if job.index not in results]
+            if pending and broken:
+                # A worker died and took the shared pool with it.  Which job
+                # killed it is unknowable from here, so blame nobody:
+                # quarantine every unfinished job in its own single-worker
+                # pool, where a repeat offender can only crash itself.
+                stats.rebuilds += 1
+                for job in pending:
+                    results[job.index] = run_quarantined(
+                        job, machine, timeout, max_retries, backoff, stats,
+                        spool_dir=spool_dir,
+                    )
+                pending = []
+
+        return _finish(stats, list(results.values()), started)
+
+
+# ----------------------------------------------------------------------
+# Chunked backend: worker-resident machines + per-worker job chunks
+# ----------------------------------------------------------------------
+#: Worker-process-global machine table, installed by the pool
+#: initializer.  Keyed by machine digest; populated once per worker.
+_WORKER_MACHINES: Dict[str, object] = {}
+
+
+def _chunk_worker_init(machines_blob: bytes) -> None:
+    """Pool initializer: deserialize the machine table once per worker."""
+    global _WORKER_MACHINES
+    _WORKER_MACHINES = pickle.loads(machines_blob)
+
+
+def _chunk_worker(
+    payload: Tuple[List[Tuple[ScheduleJob, str]], Optional[float], Optional[str]]
+) -> List[JobResult]:
+    """Run one chunk of (machine-stripped job, machine digest) entries."""
+    entries, timeout, spool_dir = payload
+    results: List[JobResult] = []
+    for job, digest in entries:
+        resident = _WORKER_MACHINES.get(digest)
+        if resident is None:  # pragma: no cover - defensive
+            results.append(
+                JobResult(
+                    index=job.index,
+                    name=job.name,
+                    status=JOB_FAILED,
+                    error=f"worker has no resident machine {digest[:12]}",
+                )
+            )
+            continue
+        results.append(execute_job(job, resident, timeout, spool_dir=spool_dir))
+    return results
+
+
+def _machine_table(
+    jobs: Sequence[ScheduleJob], machine
+) -> Tuple[Dict[str, object], List[str]]:
+    """Digest table covering every job plus the per-job digest list.
+
+    Digests are memoized by object identity, so a thousand jobs sharing
+    one machine object hash it once.
+    """
+    from repro.service.keys import machine_digest
+
+    digest_by_id: Dict[int, str] = {}
+    table: Dict[str, object] = {}
+    refs: List[str] = []
+    for job in jobs:
+        resolved = job.machine if job.machine is not None else machine
+        digest = digest_by_id.get(id(resolved))
+        if digest is None:
+            digest = machine_digest(resolved)
+            digest_by_id[id(resolved)] = digest
+        table.setdefault(digest, resolved)
+        refs.append(digest)
+    return table, refs
+
+
+class ChunkedProcessBackend(ExecutionBackend):
+    """Chunked dispatch with worker-resident, digest-keyed machines."""
+
+    name = "chunked"
+
+    def __init__(self, workers: int, chunk_size: Optional[int] = None):
+        self.workers = max(1, workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+
+    def _partition(self, pending: Sequence[ScheduleJob]) -> List[List[ScheduleJob]]:
+        size = self.chunk_size or max(
+            1, math.ceil(len(pending) / (self.workers * CHUNKS_PER_WORKER))
+        )
+        return [list(pending[i : i + size]) for i in range(0, len(pending), size)]
+
+    def run(
+        self,
+        jobs: Sequence[ScheduleJob],
+        machine,
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff: float = 0.1,
+        spool_dir: Optional[str] = None,
+    ) -> Tuple[List[JobResult], PoolStats]:
+        import time
+
+        stats = PoolStats(workers=self.workers, jobs=len(jobs), backend=self.name)
+        started = time.perf_counter()
+        if self.workers <= 1 or len(jobs) <= 1:
+            stats.fallback_serial = self.workers <= 1
+            results = [
+                execute_job(job, machine, timeout, spool_dir=spool_dir)
+                for job in jobs
+            ]
+            return _finish(stats, results, started)
+
+        table, refs = _machine_table(jobs, machine)
+        machines_blob = pickle.dumps(table, protocol=pickle.HIGHEST_PROTOCOL)
+        # Chunk payloads reference machines by digest only; strip the
+        # per-job machine so it is never pickled twice.
+        stripped = {
+            job.index: dataclasses.replace(job, machine=None) for job in jobs
+        }
+        ref_of = {job.index: ref for job, ref in zip(jobs, refs)}
+
+        results: Dict[int, JobResult] = {}
+        pending: List[ScheduleJob] = list(jobs)
+        while pending:
+            chunks = self._partition(pending)
+            try:
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(chunks)),
+                    initializer=_chunk_worker_init,
+                    initargs=(machines_blob,),
+                )
+            except (OSError, ValueError, RuntimeError):
+                stats.fallback_serial = True
+                for job in pending:
+                    results[job.index] = execute_job(
+                        job, machine, timeout, spool_dir=spool_dir
+                    )
+                pending = []
+                break
+
+            stats.chunks += len(chunks)
+            broken = False
+            hung = False
+            try:
+                futures = {
+                    executor.submit(
+                        _chunk_worker,
+                        (
+                            [(stripped[job.index], ref_of[job.index]) for job in chunk],
+                            timeout,
+                            spool_dir,
+                        ),
+                    ): chunk
+                    for chunk in chunks
+                }
+                backstop = None
+                if timeout is not None and timeout > 0:
+                    longest = max(len(chunk) for chunk in chunks)
+                    waves = math.ceil(len(chunks) / max(1, self.workers))
+                    backstop = (
+                        waves * (longest * timeout + BACKSTOP_GRACE) + BACKSTOP_GRACE
+                    )
+                try:
+                    for future in concurrent.futures.as_completed(
+                        futures, timeout=backstop
+                    ):
+                        try:
+                            chunk_results = future.result()
+                        except concurrent.futures.process.BrokenProcessPool:
+                            broken = True
+                            continue
+                        except concurrent.futures.CancelledError:
+                            continue
+                        for result in chunk_results:
+                            results[result.index] = result
+                except concurrent.futures.TimeoutError:
+                    hung = True
+                    for future, chunk in futures.items():
+                        if future.done() and not future.cancelled():
+                            continue  # re-run next round; results are pure
+                        for job in chunk:
+                            if job.index in results:
+                                continue
+                            results[job.index] = JobResult(
+                                index=job.index,
+                                name=job.name,
+                                status=JOB_TIMEOUT,
+                                error="backstop: worker unresponsive past its budget",
+                            )
+            finally:
+                executor.shutdown(wait=not (broken or hung), cancel_futures=True)
+
+            pending = [job for job in jobs if job.index not in results]
+            if pending and broken:
+                # Chunk granularity is lost on a crash: quarantine the
+                # survivors job-by-job so one assassin cannot take its
+                # chunkmates down with it a second time.
+                stats.rebuilds += 1
+                for job in pending:
+                    results[job.index] = run_quarantined(
+                        job, machine, timeout, max_retries, backoff, stats,
+                        spool_dir=spool_dir,
+                    )
+                pending = []
+
+        return _finish(stats, list(results.values()), started)
+
+
+def resolve_backend(
+    name: str,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    prefer_chunked: bool = True,
+) -> ExecutionBackend:
+    """Instantiate a backend by name.
+
+    ``auto`` picks :class:`SerialBackend` for one worker and (by
+    default) :class:`ChunkedProcessBackend` otherwise;
+    ``prefer_chunked=False`` restores the per-job process pool for
+    callers pinned to the historical strategy.
+    """
+    if name == "auto":
+        if workers <= 1:
+            return SerialBackend()
+        if prefer_chunked:
+            return ChunkedProcessBackend(workers, chunk_size)
+        return ProcessBackend(workers)
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(workers)
+    if name == "chunked":
+        return ChunkedProcessBackend(workers, chunk_size)
+    raise ValueError(
+        f"unknown execution backend {name!r}; pick from {', '.join(BACKEND_NAMES)}"
+    )

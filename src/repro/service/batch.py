@@ -1,4 +1,4 @@
-"""Batch front end: corpus/file scheduling with cache + worker pool.
+"""Batch front end: corpus/file scheduling with cache + worker backends.
 
 API::
 
@@ -6,18 +6,38 @@ API::
     report = run_batch(programs, jobs=4, cache_dir=".repro-cache")
     report.loop_metrics          # ordered exactly like the serial path
 
+    # heterogeneous sweep: one batch, per-job machines, distinct keys
+    report = run_batch(programs * 3, machines=machines, jobs=4,
+                       cache_db="results.sqlite")
+
 CLI::
 
     python -m repro batch --corpus 60 --jobs 4
     python -m repro batch examples/loops --jobs 2 --timeout 30
-    python -m repro batch a.loop b.loop --cache-dir .repro-cache --out m.json
+    python -m repro batch a.loop b.loop --cache-db ci.sqlite --out m.json
+    python -m repro batch --corpus 60 --jobs 4 --trace batch.jsonl
+    python -m repro batch --corpus 60 --sweep-load-latency 2,13,27
+    python -m repro batch --gc --max-cache-bytes 500M --max-cache-age 7d
+
+Execution strategy is pluggable (:mod:`repro.service.backends`): jobs=1
+runs serially in-process, parallel batches default to the *chunked*
+backend, which ships each distinct machine to every worker once (keyed
+by digest, cached in the worker initializer) and dispatches jobs in
+per-worker chunks, so per-job pickling stops dominating small corpora.
 
 The cache is consulted before the pool: hits come back as ``cached``
 results without touching a worker, misses are scheduled and written
 back.  Because the scheduler is deterministic and the cache key covers
 every input (see :mod:`repro.service.keys`), a warm rerun returns
 byte-identical metrics — including the original run's timing fields —
-at cache-read speed.
+at cache-read speed.  Two storage backends are available behind one
+protocol: a fan-out directory (``--cache-dir``) and a single-file
+sqlite database (``--cache-db``, WAL mode, shareable across CI runs).
+
+Tracer/profiler hooks cross process boundaries via per-job JSONL spool
+files merged in submission order (:mod:`repro.service.spool`), so
+``--trace`` output is identical at any ``--jobs`` level, modulo
+timestamps.
 """
 
 from __future__ import annotations
@@ -25,11 +45,24 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import os
+import re
+import shutil
 import sys
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.service.cache import CacheStats, ResultCache
+from repro.service.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    resolve_backend,
+)
+from repro.service.cache import (
+    CacheBackend,
+    CacheStats,
+    collect_garbage,
+    open_cache,
+)
 from repro.service.jobs import (
     JOB_CACHED,
     JOB_OK,
@@ -39,7 +72,13 @@ from repro.service.jobs import (
     order_results,
 )
 from repro.service.keys import cache_key
-from repro.service.pool import PoolStats, run_jobs
+from repro.service.pool import PoolStats
+from repro.service.spool import (
+    SpoolMergeStats,
+    merge_spools,
+    record_spool_stats,
+    write_trace_records,
+)
 
 #: Default on-disk cache location for the CLI (API default is no cache).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -53,6 +92,9 @@ class BatchReport:
     pool: PoolStats
     cache: Optional[CacheStats]  # None when caching was disabled
     wall_seconds: float
+    cache_location: Optional[str] = None  # backend.describe(), if caching
+    spool: Optional[SpoolMergeStats] = None  # None unless observability on
+    trace_records: Optional[List[dict]] = None  # merged events, loop-tagged
 
     @property
     def loop_metrics(self) -> list:
@@ -90,17 +132,30 @@ class BatchReport:
             + (f"  [{unscheduled} failed to pipeline]" if unscheduled else "")
         ]
         if self.cache is not None:
+            location = f" [{self.cache_location}]" if self.cache_location else ""
             lines.append(
                 f"cache: {self.cache.hits} hits, {self.cache.misses} misses, "
                 f"{self.cache.corrupt} corrupt, {self.cache.writes} writes"
+                + location
             )
         pool = self.pool
-        mode = "serial" if pool.fallback_serial else f"{pool.workers} workers"
+        if pool.fallback_serial:
+            mode = "serial"
+        else:
+            mode = f"{pool.backend or 'process'} x{pool.workers} workers"
+            if pool.chunks:
+                mode += f" ({pool.chunks} chunks)"
         lines.append(
             f"pool: {mode}  utilization={pool.utilization:.0%}  "
             f"retries={pool.retries}  rebuilds={pool.rebuilds}  "
             f"wall={self.wall_seconds:.2f}s ({rate:.1f} loops/s)"
         )
+        if self.spool is not None and self.spool.degraded:
+            lines.append(
+                f"spool: DEGRADED  {self.spool.missing} missing, "
+                f"{self.spool.corrupt} corrupt "
+                f"(merged {self.spool.merged})"
+            )
         for result in self.results:
             if not result.ok:
                 lines.append(
@@ -134,10 +189,17 @@ def run_batch(
     jobs: int = 1,
     timeout: Optional[float] = None,
     cache_dir: Optional[str] = None,
+    cache_db: Optional[str] = None,
     use_cache: bool = True,
     metrics=None,
     max_retries: int = 2,
     faults: Optional[Dict[int, str]] = None,
+    machines: Optional[Sequence[object]] = None,
+    backend: object = "auto",
+    chunk_size: Optional[int] = None,
+    tracer=None,
+    profiler=None,
+    collect_trace: bool = False,
 ) -> BatchReport:
     """Schedule a batch of programs (DoLoop or LoopBody) as a service.
 
@@ -145,30 +207,59 @@ def run_batch(
         programs: What to schedule; results keep this order.
         jobs: Worker processes; 1 (the default) runs serially in-process.
         timeout: Per-job wall-clock budget in seconds (None = unlimited).
-        cache_dir: Root of the content-addressed result cache; None
-            disables caching entirely.
-        use_cache: Set False to bypass reads *and* writes even when
-            ``cache_dir`` is set.
+        cache_dir: Root of a directory result cache; mutually exclusive
+            with ``cache_db``.  Both None disables caching entirely.
+        cache_db: Path of a single-file sqlite result cache (WAL mode).
+        use_cache: Set False to bypass reads *and* writes even when a
+            cache location is set.
         metrics: Optional :class:`repro.obs.MetricsRegistry`; receives
-            ``service.*`` counters/gauges/timers.
+            ``service.*`` counters/gauges/timers (plus merged worker
+            registries when tracing/profiling is on).
         max_retries: Crash-recovery resubmissions per job.
         faults: Optional ``{job index: fault}`` injection map (see
             :class:`repro.service.jobs.ScheduleJob`).
+        machines: Optional per-program machine overrides (None entries
+            fall back to ``machine``); unlocks heterogeneous sweeps
+            through one parallel, cached batch.
+        backend: Execution strategy — ``"auto"`` | ``"serial"`` |
+            ``"process"`` | ``"chunked"``, or an
+            :class:`~repro.service.backends.ExecutionBackend` instance.
+        chunk_size: Jobs per worker chunk (chunked backend only;
+            None = auto).
+        tracer: Optional session :class:`repro.obs.Tracer`; receives
+            every job's scheduler events, merged in submission order.
+        profiler: Optional session :class:`repro.obs.Profiler`;
+            receives merged worker span trees.
+        collect_trace: Force event collection even without a session
+            tracer; the merged loop-tagged stream lands in
+            ``report.trace_records`` (what CLI ``--trace`` writes).
     """
     from repro.machine import cydra5
 
     machine = machine or cydra5()
     started = time.perf_counter()
-    all_jobs = make_jobs(programs, algorithm=algorithm, options=options, faults=faults)
+    all_jobs = make_jobs(
+        programs,
+        algorithm=algorithm,
+        options=options,
+        faults=faults,
+        machines=machines,
+    )
 
-    cache: Optional[ResultCache] = None
+    cache: Optional[CacheBackend] = None
     cached_results: List[JobResult] = []
     pending: List[ScheduleJob] = all_jobs
-    if cache_dir is not None and use_cache:
-        cache = ResultCache(cache_dir)
+    if use_cache:
+        cache = open_cache(cache_dir=cache_dir, cache_db=cache_db)
+    if cache is not None:
         pending = []
         for job in all_jobs:
-            job.key = cache_key(job.program, machine, job.algorithm, job.options)
+            job.key = cache_key(
+                job.program,
+                job.machine if job.machine is not None else machine,
+                job.algorithm,
+                job.options,
+            )
             hit = cache.get(job.key)
             if hit is not None and job.fault is None:
                 cached_results.append(
@@ -182,26 +273,57 @@ def run_batch(
             else:
                 pending.append(job)
 
-    computed, pool_stats = run_jobs(
-        pending,
-        machine,
-        workers=jobs,
-        timeout=timeout,
-        max_retries=max_retries,
+    exec_backend = (
+        backend
+        if isinstance(backend, ExecutionBackend)
+        else resolve_backend(backend, workers=jobs, chunk_size=chunk_size)
     )
-    if cache is not None:
-        for result in computed:
-            job = all_jobs[result.index]
-            if result.status == JOB_OK and result.metrics is not None and job.key:
-                cache.put(job.key, result.metrics)
+    observe = (
+        collect_trace
+        or (tracer is not None and getattr(tracer, "enabled", True))
+        or (profiler is not None and getattr(profiler, "enabled", True))
+    )
+    spool_dir = tempfile.mkdtemp(prefix="repro-spool-") if observe else None
+    try:
+        computed, pool_stats = exec_backend.run(
+            pending,
+            machine,
+            timeout=timeout,
+            max_retries=max_retries,
+            spool_dir=spool_dir,
+        )
+        if cache is not None:
+            for result in computed:
+                job = all_jobs[result.index]
+                if result.status == JOB_OK and result.metrics is not None and job.key:
+                    cache.put(job.key, result.metrics)
+
+        ordered = order_results(cached_results + list(computed))
+        trace_records: Optional[List[dict]] = None
+        spool_stats: Optional[SpoolMergeStats] = None
+        if observe:
+            trace_records, spool_stats = merge_spools(
+                spool_dir, ordered, tracer=tracer, metrics=metrics,
+                profiler=profiler,
+            )
+    finally:
+        if spool_dir is not None:
+            shutil.rmtree(spool_dir, ignore_errors=True)
 
     report = BatchReport(
-        results=order_results(cached_results + list(computed)),
+        results=ordered,
         pool=pool_stats,
         cache=cache.stats if cache is not None else None,
         wall_seconds=time.perf_counter() - started,
+        cache_location=cache.describe() if cache is not None else None,
+        spool=spool_stats,
+        trace_records=trace_records,
     )
     _record_metrics(metrics, report)
+    if spool_stats is not None:
+        record_spool_stats(metrics, spool_stats)
+    if cache is not None:
+        cache.close()
     return report
 
 
@@ -257,6 +379,40 @@ def _parse_faults(specs: Optional[Sequence[str]]) -> Optional[Dict[int, str]]:
     return faults
 
 
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+_AGE_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def parse_size(text: str) -> int:
+    """``"500M"`` → bytes; bare numbers are bytes already."""
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([kmgtKMGT]?)[bB]?\s*", text)
+    if not match:
+        raise ValueError(f"cannot parse size {text!r} (try 500M, 2G, 1048576)")
+    value = float(match.group(1))
+    suffix = match.group(2).lower()
+    return int(value * _SIZE_SUFFIXES.get(suffix, 1))
+
+
+def parse_age(text: str) -> float:
+    """``"7d"`` → seconds; bare numbers are seconds already."""
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([smhdwSMHDW]?)\s*", text)
+    if not match:
+        raise ValueError(f"cannot parse age {text!r} (try 7d, 12h, 30m, 3600)")
+    value = float(match.group(1))
+    suffix = match.group(2).lower()
+    return value * _AGE_SUFFIXES.get(suffix, 1.0)
+
+
+def _parse_latencies(text: str) -> List[int]:
+    try:
+        latencies = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as error:
+        raise ValueError(f"cannot parse latency list {text!r}") from error
+    if not latencies:
+        raise ValueError("empty latency list")
+    return latencies
+
+
 # ----------------------------------------------------------------------
 # CLI (python -m repro batch ...)
 # ----------------------------------------------------------------------
@@ -264,7 +420,7 @@ def build_batch_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro batch",
         description="Schedule a corpus or loop files in parallel, with a "
-        "content-addressed result cache.",
+        "content-addressed result cache (directory or sqlite).",
     )
     parser.add_argument(
         "sources",
@@ -288,6 +444,19 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="worker processes (default 1 = serial in-process)",
     )
     parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="auto",
+        help="execution backend: auto picks serial at --jobs 1 and the "
+        "chunked worker-resident pool otherwise (default auto)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        metavar="N",
+        help="jobs per worker chunk for the chunked backend (default: auto)",
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         metavar="SECONDS",
@@ -295,14 +464,39 @@ def build_batch_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
+        default=None,
         metavar="DIR",
-        help=f"content-addressed result cache root (default {DEFAULT_CACHE_DIR})",
+        help=f"directory result cache root (default {DEFAULT_CACHE_DIR}; "
+        "mutually exclusive with --cache-db)",
+    )
+    parser.add_argument(
+        "--cache-db",
+        default=None,
+        metavar="PATH",
+        help="single-file sqlite result cache (WAL mode, shareable "
+        "across runs; mutually exclusive with --cache-dir)",
     )
     parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the result cache (no reads, no writes)",
+    )
+    parser.add_argument(
+        "--gc",
+        action="store_true",
+        help="garbage-collect the cache instead of scheduling: evict "
+        "entries past --max-cache-age, then oldest-first past "
+        "--max-cache-bytes",
+    )
+    parser.add_argument(
+        "--max-cache-bytes",
+        metavar="SIZE",
+        help="gc bound: keep the cache under SIZE (accepts 500M, 2G, ...)",
+    )
+    parser.add_argument(
+        "--max-cache-age",
+        metavar="AGE",
+        help="gc bound: evict entries older than AGE (accepts 7d, 12h, ...)",
     )
     parser.add_argument(
         "--algorithm",
@@ -314,6 +508,18 @@ def build_batch_parser() -> argparse.ArgumentParser:
         type=int,
         default=13,
         help="memory latency register (default 13)",
+    )
+    parser.add_argument(
+        "--sweep-load-latency",
+        metavar="L1,L2,...",
+        help="heterogeneous sweep: schedule the whole input once per "
+        "latency in one batch (per-job machines, distinct cache keys)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write the merged per-job scheduler trace (JSONL, each event "
+        "tagged with its loop) — identical at any --jobs level",
     )
     parser.add_argument(
         "--out",
@@ -329,11 +535,47 @@ def build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _gc_main(args) -> int:
+    """``batch --gc``: evict against whichever cache backend is configured."""
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.cache_db is None:
+        cache_dir = DEFAULT_CACHE_DIR
+    try:
+        max_bytes = parse_size(args.max_cache_bytes) if args.max_cache_bytes else None
+        max_age = parse_age(args.max_cache_age) if args.max_cache_age else None
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if cache_dir is not None and not os.path.isdir(cache_dir):
+        print(f"error: no cache at {cache_dir}", file=sys.stderr)
+        return 2
+    cache = open_cache(cache_dir=cache_dir, cache_db=args.cache_db)
+    try:
+        report = collect_garbage(
+            cache, max_bytes=max_bytes, max_age_seconds=max_age
+        )
+    finally:
+        cache.close()
+    print(f"{cache.describe()}")
+    print(report.summary())
+    if max_bytes is None and max_age is None:
+        print("(no --max-cache-bytes/--max-cache-age bound: inventory only)")
+    return 0
+
+
 def batch_main(argv: Optional[List[str]] = None) -> int:
     args = build_batch_parser().parse_args(argv)
     from repro.core import ALGORITHMS
     from repro.machine import cydra5
 
+    if args.cache_dir is not None and args.cache_db is not None:
+        print(
+            "error: pass either --cache-dir or --cache-db, not both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.gc:
+        return _gc_main(args)
     if args.algorithm not in ALGORITHMS:
         print(
             f"error: unknown algorithm {args.algorithm!r}; "
@@ -361,16 +603,55 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         print("error: provide source files or --corpus N", file=sys.stderr)
         return 2
 
+    machines = None
+    machine = cydra5(load_latency=args.load_latency)
+    if args.sweep_load_latency:
+        try:
+            latencies = _parse_latencies(args.sweep_load_latency)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        sweep_machines = [cydra5(load_latency=latency) for latency in latencies]
+        programs = [
+            program for sweep_machine in sweep_machines for program in programs
+        ]
+        machines = [
+            sweep_machine
+            for sweep_machine in sweep_machines
+            for _ in range(len(programs) // len(sweep_machines))
+        ]
+
+    cache_dir = args.cache_dir
+    if args.no_cache:
+        cache_dir = None
+    elif cache_dir is None and args.cache_db is None:
+        cache_dir = DEFAULT_CACHE_DIR
+
     report = run_batch(
         programs,
-        machine=cydra5(load_latency=args.load_latency),
+        machine=machine,
         algorithm=args.algorithm,
         jobs=args.jobs,
         timeout=args.timeout,
-        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_dir=cache_dir,
+        cache_db=None if args.no_cache else args.cache_db,
+        backend=args.backend,
+        chunk_size=args.chunk_size,
+        machines=machines,
         faults=_parse_faults(args.inject),
+        collect_trace=bool(args.trace),
     )
     print(report.summary())
+    if args.trace:
+        try:
+            write_trace_records(report.trace_records or [], args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"trace: {len(report.trace_records or [])} events "
+            f"({report.spool.merged if report.spool else 0} jobs) -> {args.trace}"
+        )
     if args.out:
         from repro.experiments.export import write_json
 
@@ -396,17 +677,23 @@ def run_batch_bench(
     machine=None,
     jobs: Optional[int] = None,
 ) -> dict:
-    """Benchmark the service: parallel speedup + warm/cold cache time.
+    """Benchmark the service: backend speedups + warm/cold cache time.
 
     Matches :func:`repro.obs.bench.run_scenario`'s signature so the
     bench CLI can drive it like any other scenario.  Wall-clock entries
     are ``kind="time"`` (reported, not gated by default); cache-hit
     counts and the schedule-quality aggregates are deterministic and
     gate ``--fail-on-regress``.
-    """
-    import shutil
-    import tempfile
 
+    Three dispatch strategies are timed over the same corpus: serial
+    in-process (the floor every backend must match for correctness),
+    the historical per-job process pool, and the chunked
+    worker-resident backend — ``chunked_vs_process_speedup`` isolates
+    the dispatch-cost win from raw core count, which matters because
+    CI boxes (and this repo's own measurement container) may expose a
+    single core, capping ``parallel_speedup`` near 1.0 regardless of
+    backend.
+    """
     from repro.machine import cydra5
     from repro.obs.bench import (
         BENCH_SCHEMA,
@@ -418,47 +705,71 @@ def run_batch_bench(
     from repro.workloads import paper_corpus
 
     machine = machine or cydra5()
-    jobs = jobs or min(4, os.cpu_count() or 1)
+    # Floor at 2 workers so the process/chunked backends actually run
+    # even on single-core boxes — there the speedups honestly come out
+    # <= 1.0 (time-kind, reported not gated) but the dispatch-cost
+    # comparison still measures something real.
+    jobs = jobs or max(2, min(4, os.cpu_count() or 1))
     programs = paper_corpus(corpus_size)
 
     serial_samples: List[float] = []
-    parallel_samples: List[float] = []
+    process_samples: List[float] = []
+    chunked_samples: List[float] = []
     loop_metrics = None
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
-        serial_report = run_batch(programs, machine, jobs=1, cache_dir=None)
+        run_batch(programs, machine, jobs=1, backend="serial", cache_dir=None)
         serial_samples.append(time.perf_counter() - started)
         started = time.perf_counter()
-        report = run_batch(programs, machine, jobs=jobs, cache_dir=None)
-        parallel_samples.append(time.perf_counter() - started)
+        run_batch(programs, machine, jobs=jobs, backend="process", cache_dir=None)
+        process_samples.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        report = run_batch(
+            programs, machine, jobs=jobs, backend="chunked", cache_dir=None
+        )
+        chunked_samples.append(time.perf_counter() - started)
         loop_metrics = report.loop_metrics
 
     cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
     try:
         started = time.perf_counter()
-        cold = run_batch(programs, machine, jobs=jobs, cache_dir=cache_root)
+        cold = run_batch(
+            programs, machine, jobs=jobs, backend="chunked", cache_dir=cache_root
+        )
         cold_seconds = time.perf_counter() - started
         started = time.perf_counter()
-        warm = run_batch(programs, machine, jobs=jobs, cache_dir=cache_root)
+        warm = run_batch(
+            programs, machine, jobs=jobs, backend="chunked", cache_dir=cache_root
+        )
         warm_seconds = time.perf_counter() - started
     finally:
         shutil.rmtree(cache_root, ignore_errors=True)
 
     serial_stats = sample_stats(serial_samples)
-    parallel_stats = sample_stats(parallel_samples)
+    process_stats = sample_stats(process_samples)
+    chunked_stats = sample_stats(chunked_samples)
     serial_wall = serial_stats["median"]
-    parallel_wall = parallel_stats["median"]
+    process_wall = process_stats["median"]
+    parallel_wall = chunked_stats["median"]
     metrics = {
         "serial_wall_s": metric(
             serial_wall, "s", direction="lower", kind="time",
             iqr=serial_stats["iqr"],
         ),
+        "process_wall_s": metric(
+            process_wall, "s", direction="lower", kind="time",
+            iqr=process_stats["iqr"],
+        ),
         "parallel_wall_s": metric(
             parallel_wall, "s", direction="lower", kind="time",
-            iqr=parallel_stats["iqr"],
+            iqr=chunked_stats["iqr"],
         ),
         "parallel_speedup": metric(
             serial_wall / parallel_wall if parallel_wall else 0.0,
+            "x", direction="higher", kind="time",
+        ),
+        "chunked_vs_process_speedup": metric(
+            process_wall / parallel_wall if parallel_wall else 0.0,
             "x", direction="higher", kind="time",
         ),
         "cold_cache_wall_s": metric(
@@ -492,7 +803,9 @@ def run_batch_bench(
             "repeats": max(1, repeats),
             "warmup": warmup,
             "jobs": jobs,
-            "wall_time_samples_s": parallel_samples,
+            "backend": "chunked",
+            "wall_time_samples_s": chunked_samples,
+            "process_wall_time_samples_s": process_samples,
             "serial_wall_time_samples_s": serial_samples,
             "metrics": metrics,
             "profile": None,

@@ -1,15 +1,33 @@
-"""Content-addressed on-disk cache of per-loop scheduling results.
+"""Content-addressed result caches behind one ``CacheBackend`` protocol.
 
-Layout: one JSON blob per result at ``<root>/<key[:2]>/<key>.json``
-(two-level fan-out keeps directories small on big corpora).  Writes are
-atomic — the blob lands in a same-directory temp file and is
-``os.replace``d into place — so a crashed or parallel writer can never
-leave a half-written entry behind a valid name.  Reads are
-corruption-tolerant: any unreadable, unparsable, schema-mismatched or
-field-mismatched entry is treated as a miss and the caller recomputes
-(and overwrites) it.  The cache is therefore purely an accelerator; it
-can be deleted, truncated or corrupted at any time without changing
-results.
+Two storage backends share one key schema, one JSON payload envelope
+and one eviction policy:
+
+``DirectoryCache``
+    One JSON blob per result at ``<root>/<key[:2]>/<key>.json``
+    (two-level fan-out keeps directories small on big corpora).  Writes
+    are atomic — the blob lands in a same-directory temp file and is
+    ``os.replace``d into place — so a crashed or parallel writer can
+    never leave a half-written entry behind a valid name.
+
+``SQLiteCache``
+    A single-file sqlite database in WAL mode (readers never block the
+    writer and vice versa), same key schema and payload envelope.  One
+    file instead of thousands makes the cache trivially shareable —
+    copy it between CI runs, mount it read-mostly, ship it as an
+    artifact.  :meth:`SQLiteCache.import_directory` migrates
+    directory-cache entries in bulk, preserving their timestamps.
+
+Reads on both backends are corruption-tolerant: any unreadable,
+unparsable, schema-mismatched or field-mismatched entry is treated as a
+miss and the caller recomputes (and overwrites) it.  A cache is
+therefore purely an accelerator; it can be deleted, truncated or
+corrupted at any time without changing results.
+
+Both backends also expose :meth:`CacheBackend.entries` /
+:meth:`CacheBackend.remove`, which is all :func:`collect_garbage`
+needs — eviction (``batch --gc``) is written once against the protocol
+and works identically for directories and sqlite files.
 """
 
 from __future__ import annotations
@@ -18,7 +36,8 @@ import dataclasses
 import json
 import os
 import tempfile
-from typing import Optional
+import time
+from typing import Iterator, Optional
 
 from repro.experiments.metrics import LoopMetrics
 
@@ -77,7 +96,41 @@ def payload_to_metrics(payload: dict) -> LoopMetrics:
     return LoopMetrics(**record)
 
 
-class ResultCache:
+@dataclasses.dataclass
+class CacheEntry:
+    """One stored result as the garbage collector sees it."""
+
+    key: str
+    size_bytes: int
+    created_unix: float
+
+
+class CacheBackend:
+    """Storage protocol: get/put for the batch path, entries/remove for GC."""
+
+    stats: CacheStats
+
+    def get(self, key: str) -> Optional[LoopMetrics]:
+        raise NotImplementedError
+
+    def put(self, key: str, metrics: LoopMetrics) -> bool:
+        raise NotImplementedError
+
+    def entries(self) -> Iterator[CacheEntry]:
+        raise NotImplementedError
+
+    def remove(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (no-op for directory caches)."""
+
+    def describe(self) -> str:
+        """One-word-ish location string for CLI summaries."""
+        raise NotImplementedError
+
+
+class DirectoryCache(CacheBackend):
     """A content-addressed LoopMetrics cache rooted at one directory."""
 
     def __init__(self, root: str):
@@ -86,6 +139,9 @@ class ResultCache:
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def describe(self) -> str:
+        return f"dir:{self.root}"
 
     def get(self, key: str) -> Optional[LoopMetrics]:
         """The cached result for ``key``, or None on miss/corruption."""
@@ -134,3 +190,252 @@ class ResultCache:
             return False
         self.stats.writes += 1
         return True
+
+    def entries(self) -> Iterator[CacheEntry]:
+        """Every stored entry, discovered by walking the fan-out dirs."""
+        try:
+            fans = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for fan in fans:
+            fan_dir = os.path.join(self.root, fan)
+            if not os.path.isdir(fan_dir):
+                continue
+            try:
+                names = sorted(os.listdir(fan_dir))
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(fan_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                yield CacheEntry(
+                    key=name[: -len(".json")],
+                    size_bytes=stat.st_size,
+                    created_unix=stat.st_mtime,
+                )
+
+    def remove(self, key: str) -> bool:
+        path = self.path_for(key)
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        # Opportunistically drop an emptied fan-out directory.
+        try:
+            os.rmdir(os.path.dirname(path))
+        except OSError:
+            pass
+        return True
+
+
+#: Backwards-compatible alias (PR 3 exposed the directory layout as
+#: ``ResultCache``; the protocol split kept the name pointing at it).
+ResultCache = DirectoryCache
+
+
+class SQLiteCache(CacheBackend):
+    """Single-file sqlite result cache (WAL mode, shared across runs)."""
+
+    def __init__(self, path: str):
+        import sqlite3
+
+        self.path = path
+        self.stats = CacheStats()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        # Autocommit (isolation_level=None) keeps puts single-statement
+        # atomic without long write transactions; WAL lets concurrent
+        # CI runs read while one writes.
+        self._conn = sqlite3.connect(path, timeout=30.0, isolation_level=None)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " key TEXT PRIMARY KEY,"
+            " payload TEXT NOT NULL,"
+            " size_bytes INTEGER NOT NULL,"
+            " created_unix REAL NOT NULL)"
+        )
+
+    def describe(self) -> str:
+        return f"sqlite:{self.path}"
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+
+    def get(self, key: str) -> Optional[LoopMetrics]:
+        import sqlite3
+
+        try:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error:
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        if row is None:
+            self.stats.misses += 1
+            return None
+        try:
+            metrics = payload_to_metrics(json.loads(row[0]))
+        except (ValueError, TypeError):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        self.stats.hits += 1
+        return metrics
+
+    def put(self, key: str, metrics: LoopMetrics, created_unix: Optional[float] = None) -> bool:
+        import sqlite3
+
+        payload = json.dumps(metrics_to_payload(key, metrics), sort_keys=True)
+        try:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results"
+                " (key, payload, size_bytes, created_unix) VALUES (?, ?, ?, ?)",
+                (
+                    key,
+                    payload,
+                    len(payload.encode("utf-8")),
+                    time.time() if created_unix is None else created_unix,
+                ),
+            )
+        except sqlite3.Error:
+            self.stats.write_errors += 1
+            return False
+        self.stats.writes += 1
+        return True
+
+    def entries(self) -> Iterator[CacheEntry]:
+        import sqlite3
+
+        try:
+            rows = self._conn.execute(
+                "SELECT key, size_bytes, created_unix FROM results ORDER BY key"
+            ).fetchall()
+        except sqlite3.Error:
+            return
+        for key, size_bytes, created_unix in rows:
+            yield CacheEntry(
+                key=key, size_bytes=size_bytes, created_unix=created_unix
+            )
+
+    def remove(self, key: str) -> bool:
+        import sqlite3
+
+        try:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE key = ?", (key,)
+            )
+        except sqlite3.Error:
+            return False
+        return cursor.rowcount > 0
+
+    def import_directory(self, root: str) -> int:
+        """Bulk-import a :class:`DirectoryCache`'s entries.
+
+        Each blob is strictly validated before insertion (a corrupt
+        directory entry is skipped, not propagated) and keeps its file
+        mtime as ``created_unix`` so age-based GC stays meaningful.
+        Existing sqlite entries win over imported ones.  Returns the
+        number of entries imported.
+        """
+        source = DirectoryCache(root)
+        imported = 0
+        for entry in source.entries():
+            metrics = source.get(entry.key)
+            if metrics is None:
+                continue
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ?", (entry.key,)
+            ).fetchone()
+            if row is not None:
+                continue
+            if self.put(entry.key, metrics, created_unix=entry.created_unix):
+                imported += 1
+        return imported
+
+
+def open_cache(
+    cache_dir: Optional[str] = None, cache_db: Optional[str] = None
+) -> Optional[CacheBackend]:
+    """Pick a backend from the CLI-style pair of location options."""
+    if cache_dir is not None and cache_db is not None:
+        raise ValueError("pass either cache_dir or cache_db, not both")
+    if cache_db is not None:
+        return SQLiteCache(cache_db)
+    if cache_dir is not None:
+        return DirectoryCache(cache_dir)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Garbage collection (batch --gc): one policy, every backend
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class GCReport:
+    """What one eviction pass did."""
+
+    examined: int = 0
+    removed: int = 0
+    errors: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"gc: examined {self.examined} entries "
+            f"({self.bytes_before / 1e6:.2f} MB), removed {self.removed} "
+            f"({(self.bytes_before - self.bytes_after) / 1e6:.2f} MB), "
+            f"kept {self.examined - self.removed} "
+            f"({self.bytes_after / 1e6:.2f} MB)"
+            + (f", {self.errors} error(s)" if self.errors else "")
+        )
+
+
+def collect_garbage(
+    backend: CacheBackend,
+    max_bytes: Optional[int] = None,
+    max_age_seconds: Optional[float] = None,
+    now: Optional[float] = None,
+) -> GCReport:
+    """Evict entries until the cache fits its bounds.
+
+    Policy (applied oldest-first, so a size bound keeps the youngest
+    entries): an entry is evicted when it is older than
+    ``max_age_seconds``, or while the total size still exceeds
+    ``max_bytes``.  With neither bound set, nothing is evicted — the
+    report is a dry inventory.  Works against any
+    :class:`CacheBackend`; eviction failures are counted, never raised.
+    """
+    now = time.time() if now is None else now
+    entries = sorted(backend.entries(), key=lambda e: (e.created_unix, e.key))
+    report = GCReport(examined=len(entries))
+    total = sum(entry.size_bytes for entry in entries)
+    report.bytes_before = total
+    for entry in entries:
+        expired = (
+            max_age_seconds is not None
+            and now - entry.created_unix > max_age_seconds
+        )
+        over_budget = max_bytes is not None and total > max_bytes
+        if not (expired or over_budget):
+            continue
+        if backend.remove(entry.key):
+            report.removed += 1
+            total -= entry.size_bytes
+        else:
+            report.errors += 1
+    report.bytes_after = total
+    return report

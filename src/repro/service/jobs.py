@@ -38,6 +38,12 @@ JOB_STATUSES = frozenset({JOB_OK, JOB_FAILED, JOB_TIMEOUT, JOB_CRASHED, JOB_CACH
 class ScheduleJob:
     """One scheduling request.
 
+    ``machine`` is the job's own machine description; ``None`` means
+    "use the batch default".  Per-job machines are what make
+    heterogeneous sweeps (the same corpus under several load latencies)
+    one batch instead of one batch per machine — the cache key already
+    covers the machine, so distinct machines get distinct entries.
+
     ``fault`` is the service's built-in fault injection used by tests,
     CI and manual resilience drills: ``"crash"`` makes the worker die
     with ``os._exit``, ``"hang:N"`` makes it sleep N seconds (tripping
@@ -50,6 +56,7 @@ class ScheduleJob:
     program: object  # DoLoop | LoopBody (picklable either way)
     algorithm: str = "slack"
     options: Optional[object] = None  # SchedulerOptions
+    machine: Optional[object] = None  # Machine; None = batch default
     key: Optional[str] = None  # content-addressed cache key, if computed
     fault: Optional[str] = None
 
@@ -83,9 +90,18 @@ def make_jobs(
     algorithm: str = "slack",
     options=None,
     faults: Optional[Dict[int, str]] = None,
+    machines: Optional[Sequence[object]] = None,
 ) -> List[ScheduleJob]:
-    """Wrap programs (DoLoop or LoopBody) into indexed jobs."""
+    """Wrap programs (DoLoop or LoopBody) into indexed jobs.
+
+    ``machines``, when given, must be one machine (or None) per program;
+    entries override the batch default machine for that job only.
+    """
     faults = faults or {}
+    if machines is not None and len(machines) != len(programs):
+        raise ValueError(
+            f"machines ({len(machines)}) must match programs ({len(programs)})"
+        )
     return [
         ScheduleJob(
             index=index,
@@ -93,6 +109,7 @@ def make_jobs(
             program=program,
             algorithm=algorithm,
             options=options,
+            machine=machines[index] if machines is not None else None,
             fault=faults.get(index),
         )
         for index, program in enumerate(programs)

@@ -248,3 +248,20 @@ def cache_key(
     """Stable SHA-256 hex digest identifying one scheduling request."""
     encoded = request_json(program, machine, algorithm, options).encode("utf-8")
     return hashlib.sha256(encoded).hexdigest()
+
+
+def machine_digest(machine: Machine) -> str:
+    """Stable SHA-256 hex digest of a machine description alone.
+
+    Used by the chunked execution backend to key its worker-resident
+    machine cache: two jobs carrying equal machines (same units, counts,
+    latencies, pipelining) share one deserialized machine per worker,
+    however many jobs reference it.
+    """
+    encoded = json.dumps(
+        canonical_machine(machine),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    ).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()

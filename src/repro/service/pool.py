@@ -1,21 +1,30 @@
-"""Fault-tolerant worker pool for batch scheduling jobs.
+"""Shared worker-pool machinery for the execution backends.
 
-Execution ladder (most to least capable, degrading gracefully):
+This module holds everything a backend (:mod:`repro.service.backends`)
+needs to run jobs safely: the in-worker ``SIGALRM`` budget, fault
+injection, observability spooling, crash quarantine, and the
+:class:`PoolStats` record.  The execution *strategies* themselves —
+serial in-process, one-future-per-job process pool, chunked process
+pool with worker-resident machines — live in ``backends.py``;
+:func:`run_jobs` survives as the historical entry point and simply
+delegates to the auto-selected backend.
 
-1. ``ProcessPoolExecutor`` with ``workers`` processes.  Each job is
-   guarded *inside* the worker by a ``SIGALRM`` wall-clock budget, so a
-   slow loop returns a structured ``timeout`` result without poisoning
-   the pool.
+Fault-tolerance ladder (most to least capable, degrading gracefully):
+
+1. ``ProcessPoolExecutor`` workers; each job is guarded *inside* the
+   worker by a ``SIGALRM`` wall-clock budget, so a slow loop returns a
+   structured ``timeout`` result without poisoning the pool.
 2. If a worker process dies (segfault, ``os._exit``, OOM kill) the pool
    is broken; every job still missing a result is resubmitted to a
-   fresh pool after an exponential backoff, a bounded number of times.
-   A job that keeps killing its worker exhausts its retries and is
-   reported ``crashed`` — the rest of the batch still completes.
+   fresh single-worker quarantine pool after an exponential backoff, a
+   bounded number of times.  A job that keeps killing its worker
+   exhausts its retries and is reported ``crashed`` — the rest of the
+   batch still completes.
 3. A worker that hangs hard enough to ignore ``SIGALRM`` (stuck in a C
    extension) trips the pool-side backstop deadline; unfinished jobs
    are reported ``timeout`` and the stuck processes are abandoned.
-4. If process pools are unavailable at all (or ``workers <= 1``), jobs
-   run serially in-process — same results, no isolation.
+4. If process pools are unavailable at all, jobs run serially
+   in-process — same results, no isolation.
 
 Results are deterministic regardless of the path taken: the scheduler
 itself is a pure function, and :func:`repro.service.jobs.order_results`
@@ -24,14 +33,12 @@ restores submission order.
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
-import math
 import os
 import signal
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.service.jobs import (
     JOB_CRASHED,
@@ -40,7 +47,6 @@ from repro.service.jobs import (
     JOB_TIMEOUT,
     JobResult,
     ScheduleJob,
-    order_results,
 )
 
 #: Seconds of slack granted on top of the per-job budget before the
@@ -69,9 +75,18 @@ def _inject_fault(fault: str) -> None:
 
 
 def execute_job(
-    job: ScheduleJob, machine, timeout: Optional[float] = None
+    job: ScheduleJob,
+    machine,
+    timeout: Optional[float] = None,
+    spool_dir: Optional[str] = None,
 ) -> JobResult:
     """Run one job to a structured result; never raises.
+
+    ``job.machine`` (when set) overrides the batch-default ``machine``.
+    With a ``spool_dir``, the job runs under its own tracer, metrics
+    registry and profiler and writes their contents to a per-job spool
+    file (:mod:`repro.service.spool`) for the parent to merge — that is
+    how ``--trace``/``--explain`` cross process boundaries.
 
     The wall-clock budget uses ``SIGALRM`` and therefore only applies on
     POSIX main threads (worker processes and the serial path both
@@ -80,6 +95,17 @@ def execute_job(
     # Deferred import: repro.experiments.runner lazily imports this
     # package for its jobs= path, so a module-level import would cycle.
     from repro.experiments.runner import measure_loop
+
+    machine = job.machine if job.machine is not None else machine
+    tracer = registry = profiler = None
+    if spool_dir is not None:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.prof import Profiler
+        from repro.obs.trace import CollectingTracer
+
+        tracer = CollectingTracer()
+        registry = MetricsRegistry()
+        profiler = Profiler()
 
     started = time.perf_counter()
     use_alarm = (
@@ -97,7 +123,13 @@ def execute_job(
         if job.fault:
             _inject_fault(job.fault)
         metrics = measure_loop(
-            job.program, machine, algorithm=job.algorithm, options=job.options
+            job.program,
+            machine,
+            algorithm=job.algorithm,
+            options=job.options,
+            tracer=tracer,
+            metrics=registry,
+            profiler=profiler,
         )
         status, error = JOB_OK, None
     except _JobTimeoutError:
@@ -108,6 +140,20 @@ def execute_job(
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous_handler)
+    if spool_dir is not None:
+        # Written after the alarm is disarmed so a budget expiry cannot
+        # truncate the spool mid-line; partial traces (timeout/failure)
+        # are still recorded — they are the interesting ones.
+        from repro.service.spool import write_spool
+
+        write_spool(
+            spool_dir,
+            job.index,
+            job.name,
+            tracer.events,
+            registry.dump(),
+            profiler.snapshot(),
+        )
     return JobResult(
         index=job.index,
         name=job.name,
@@ -118,10 +164,12 @@ def execute_job(
     )
 
 
-def _pool_worker(payload: Tuple[ScheduleJob, object, Optional[float]]) -> JobResult:
-    """Top-level worker entry point (must be picklable by name)."""
-    job, machine, timeout = payload
-    return execute_job(job, machine, timeout)
+def _pool_worker(
+    payload: Tuple[ScheduleJob, object, Optional[float], Optional[str]]
+) -> JobResult:
+    """Top-level per-job worker entry point (must be picklable by name)."""
+    job, machine, timeout, spool_dir = payload
+    return execute_job(job, machine, timeout, spool_dir=spool_dir)
 
 
 @dataclasses.dataclass
@@ -139,6 +187,8 @@ class PoolStats:
     fallback_serial: bool = False
     busy_seconds: float = 0.0  # sum of worker-side job wall times
     wall_seconds: float = 0.0
+    backend: str = ""  # which ExecutionBackend produced these results
+    chunks: int = 0  # chunked backend: futures submitted
 
     @property
     def utilization(self) -> float:
@@ -162,118 +212,14 @@ def _tally(stats: PoolStats, results: Sequence[JobResult]) -> None:
             stats.crashes += 1
 
 
-def _run_serial(
-    jobs: Sequence[ScheduleJob], machine, timeout: Optional[float]
-) -> List[JobResult]:
-    return [execute_job(job, machine, timeout) for job in jobs]
-
-
-def run_jobs(
-    jobs: Sequence[ScheduleJob],
-    machine,
-    workers: int = 1,
-    timeout: Optional[float] = None,
-    max_retries: int = 2,
-    backoff: float = 0.1,
-) -> Tuple[List[JobResult], PoolStats]:
-    """Execute every job; return (results in submission order, stats).
-
-    ``max_retries`` bounds how many times a job may be resubmitted after
-    its pool broke underneath it; ``backoff`` seconds (doubling per
-    rebuild) separate pool rebuilds so a crash-looping job cannot spin
-    the host.
-    """
-    stats = PoolStats(workers=max(1, workers), jobs=len(jobs))
-    started = time.perf_counter()
-    if workers <= 1 or len(jobs) <= 1:
-        results = _run_serial(jobs, machine, timeout)
-        stats.fallback_serial = workers <= 1
-        stats.wall_seconds = time.perf_counter() - started
-        _tally(stats, results)
-        return order_results(results), stats
-
-    results: Dict[int, JobResult] = {}
-    pending: List[ScheduleJob] = list(jobs)
-    while pending:
-        try:
-            executor = concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(workers, len(pending))
-            )
-        except (OSError, ValueError, RuntimeError):
-            # Degradation ladder, final rung: no subprocesses available.
-            stats.fallback_serial = True
-            for job in pending:
-                results[job.index] = execute_job(job, machine, timeout)
-            pending = []
-            break
-
-        broken = False
-        hung = False
-        try:
-            futures = {
-                executor.submit(_pool_worker, (job, machine, timeout)): job
-                for job in pending
-            }
-            backstop = None
-            if timeout is not None and timeout > 0:
-                waves = math.ceil(len(pending) / max(1, workers))
-                backstop = waves * (timeout + BACKSTOP_GRACE) + BACKSTOP_GRACE
-            try:
-                for future in concurrent.futures.as_completed(futures, timeout=backstop):
-                    job = futures[future]
-                    try:
-                        result = future.result()
-                    except concurrent.futures.process.BrokenProcessPool:
-                        broken = True
-                        continue  # other done futures may still hold results
-                    except concurrent.futures.CancelledError:
-                        continue
-                    results[job.index] = result
-            except concurrent.futures.TimeoutError:
-                # SIGALRM-immune hang: give up on everything unfinished.
-                hung = True
-                for future, job in futures.items():
-                    if job.index in results:
-                        continue
-                    if future.done() and not future.cancelled():
-                        continue  # re-run next round; results are pure
-                    results[job.index] = JobResult(
-                        index=job.index,
-                        name=job.name,
-                        status=JOB_TIMEOUT,
-                        error="backstop: worker unresponsive past its budget",
-                    )
-        finally:
-            # Never block on a broken pool or a hung worker; abandoning
-            # the stuck process is the price of finishing the batch.
-            executor.shutdown(wait=not (broken or hung), cancel_futures=True)
-
-        pending = [job for job in jobs if job.index not in results]
-        if pending and broken:
-            # A worker died and took the shared pool with it.  Which job
-            # killed it is unknowable from here, so blame nobody:
-            # quarantine every unfinished job in its own single-worker
-            # pool, where a repeat offender can only crash itself.
-            stats.rebuilds += 1
-            for job in pending:
-                results[job.index] = _run_quarantined(
-                    job, machine, timeout, max_retries, backoff, stats
-                )
-            pending = []
-
-    stats.wall_seconds = time.perf_counter() - started
-    ordered = order_results(list(results.values()))
-    _tally(stats, ordered)
-    return ordered, stats
-
-
-def _run_quarantined(
+def run_quarantined(
     job: ScheduleJob,
     machine,
     timeout: Optional[float],
     max_retries: int,
     backoff: float,
     stats: PoolStats,
+    spool_dir: Optional[str] = None,
 ) -> JobResult:
     """Run one job in an isolated single-worker pool, retrying crashes.
 
@@ -281,6 +227,8 @@ def _run_quarantined(
     after ``max_retries`` resubmissions (with doubling backoff) the job
     is reported ``crashed`` without having disturbed any other job.
     """
+    import concurrent.futures
+
     attempt = 0
     while True:
         try:
@@ -288,12 +236,15 @@ def _run_quarantined(
         except (OSError, ValueError, RuntimeError):
             stats.fallback_serial = True
             return dataclasses.replace(
-                execute_job(job, machine, timeout), retries=attempt
+                execute_job(job, machine, timeout, spool_dir=spool_dir),
+                retries=attempt,
             )
         hung = False
         broken = False
         try:
-            future = executor.submit(_pool_worker, (job, machine, timeout))
+            future = executor.submit(
+                _pool_worker, (job, machine, timeout, spool_dir)
+            )
             backstop = (
                 timeout + BACKSTOP_GRACE
                 if timeout is not None and timeout > 0
@@ -328,3 +279,32 @@ def _run_quarantined(
         stats.retries += 1
         if backoff > 0:
             time.sleep(min(5.0, backoff * (2 ** (attempt - 1))))
+
+
+def run_jobs(
+    jobs: Sequence[ScheduleJob],
+    machine,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    backoff: float = 0.1,
+    spool_dir: Optional[str] = None,
+) -> Tuple[List[JobResult], PoolStats]:
+    """Historical entry point: auto-select a backend and execute.
+
+    ``workers <= 1`` (or a single job) runs serially in-process; more
+    workers use the per-job process backend.  New callers should go
+    through :func:`repro.service.backends.resolve_backend`, which also
+    offers the chunked backend.
+    """
+    from repro.service.backends import resolve_backend
+
+    backend = resolve_backend("auto", workers=workers, prefer_chunked=False)
+    return backend.run(
+        jobs,
+        machine,
+        timeout=timeout,
+        max_retries=max_retries,
+        backoff=backoff,
+        spool_dir=spool_dir,
+    )
