@@ -7,9 +7,12 @@ corpus benchmarks: use them to track scheduler performance regressions.
 ``test_trace_overhead`` is the observability guardrail: it schedules a
 Table-2-style corpus untraced, with the default :class:`NullTracer`
 (whose cost is one attribute test per decision), with the disabled
-:class:`NullProfiler` (same pattern), and with the full
-:class:`CollectingTracer` + metrics + enabled :class:`Profiler`,
-asserts the disabled tracer *and* profiler each stay under 5%
+:class:`NullProfiler` (same pattern), with the batch progress stream
+(per-job lifecycle events through a :class:`ProgressTracker` plus
+latency-quantile recording, the per-job cost ``run_batch`` adds), and
+with the full :class:`CollectingTracer` + metrics + enabled
+:class:`Profiler`.  It asserts the disabled tracer, the disabled
+profiler, *and* the progress/quantile path each stay under 5%
 overhead, and publishes the numbers to
 ``benchmarks/out/trace_overhead.txt``.
 """
@@ -28,6 +31,14 @@ from repro.obs import (
     CollectingTracer,
     MetricsRegistry,
     Profiler,
+)
+from repro.obs.progress import (
+    KIND_STARTED,
+    KIND_SUBMITTED,
+    NullProgressSink,
+    ProgressTracker,
+    StragglerWatchdog,
+    job_event,
 )
 from repro.workloads import paper_corpus
 from repro.workloads.livermore import kernel7_state
@@ -89,6 +100,36 @@ def _one_corpus_run(loops, **schedule_kwargs):
     return time.perf_counter() - started
 
 
+def _one_corpus_run_with_progress(loops):
+    """Wall time of the same corpus with the batch progress stream: the
+    per-job lifecycle events, straggler watchdog, and latency-quantile
+    histogram that ``run_batch`` layers on top of the scheduler."""
+    from repro.obs.progress import KIND_FINISHED
+
+    registry = MetricsRegistry()
+    tracker = ProgressTracker(
+        total=len(loops),
+        sinks=[NullProgressSink()],
+        metrics=registry,
+        watchdog=StragglerWatchdog(),
+    )
+    latencies = registry.histogram("service.job.seconds")
+    started = time.perf_counter()
+    for index, (loop, ddg) in enumerate(loops):
+        tracker.emit(job_event(KIND_SUBMITTED, index, loop.name))
+        tracker.emit(job_event(KIND_STARTED, index, loop.name))
+        job_started = time.perf_counter()
+        modulo_schedule(loop, MACHINE, ddg=ddg)
+        seconds = time.perf_counter() - job_started
+        tracker.emit(
+            job_event(KIND_FINISHED, index, loop.name, status="ok", seconds=seconds)
+        )
+        latencies.record(seconds)
+    elapsed = time.perf_counter() - started
+    tracker.close()
+    return elapsed
+
+
 def test_trace_overhead(benchmark):
     loops = []
     for program in paper_corpus(120, seed=1993):
@@ -108,6 +149,7 @@ def test_trace_overhead(benchmark):
                     _one_corpus_run(loops),
                     _one_corpus_run(loops, tracer=NULL_TRACER),
                     _one_corpus_run(loops, profiler=NULL_PROFILER),
+                    _one_corpus_run_with_progress(loops),
                     _one_corpus_run(
                         loops,
                         tracer=CollectingTracer(),
@@ -128,10 +170,12 @@ def test_trace_overhead(benchmark):
     untraced = min(s[0] for s in samples)
     null_traced = min(s[1] for s in samples)
     null_profiled = min(s[2] for s in samples)
-    full_traced = min(s[3] for s in samples)
+    progressed = min(s[3] for s in samples)
+    full_traced = min(s[4] for s in samples)
     null_overhead = median(s[1] / s[0] for s in samples) - 1.0
     prof_overhead = median(s[2] / s[0] for s in samples) - 1.0
-    full_overhead = median(s[3] / s[0] for s in samples) - 1.0
+    progress_overhead = median(s[3] / s[0] for s in samples) - 1.0
+    full_overhead = median(s[4] / s[0] for s in samples) - 1.0
     report = "\n".join(
         [
             f"trace overhead ({len(loops)}-loop corpus, {rounds} interleaved rounds,",
@@ -141,12 +185,16 @@ def test_trace_overhead(benchmark):
             f"({null_overhead:+.1%})",
             f"  NullProfiler (the default):      {null_profiled * 1e3:8.1f} ms "
             f"({prof_overhead:+.1%})",
+            f"  progress stream + quantiles:     {progressed * 1e3:8.1f} ms "
+            f"({progress_overhead:+.1%})",
             f"  tracer + metrics + profiler:     {full_traced * 1e3:8.1f} ms "
             f"({full_overhead:+.1%})",
             "",
             "invariant: the opt-out NullTracer and NullProfiler paths must",
             "each stay within 5% of the untraced scheduler (one attribute",
-            "test per decision/site).",
+            "test per decision/site), and the batch progress stream (per-job",
+            "lifecycle events + latency-quantile tracking) must cost under 5%",
+            "because it runs per job, not per scheduling decision.",
         ]
     )
     publish("trace_overhead", report)
@@ -155,4 +203,7 @@ def test_trace_overhead(benchmark):
     )
     assert prof_overhead < 0.05, (
         f"NullProfiler overhead {prof_overhead:.1%} exceeds the 5% budget"
+    )
+    assert progress_overhead < 0.05, (
+        f"progress-stream overhead {progress_overhead:.1%} exceeds the 5% budget"
     )

@@ -8,6 +8,7 @@
     python -m repro batch --corpus 60 --jobs 4         # scheduling service
     python -m repro batch --corpus 60 --jobs 4 --trace t.jsonl --cache-db r.sqlite
     python -m repro batch --gc --max-cache-bytes 500M  # cache eviction
+    python -m repro report --metrics m.json --out report.html  # HTML report
 
 Prints lower bounds, the found schedule, register pressure against the
 MinAvg bound, optionally the generated kernel-only VLIW code, and
@@ -151,6 +152,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.service.batch import batch_main
 
         return batch_main(argv[1:])
+    if argv and argv[0] == "report":
+        # Subcommand: fuse observability artifacts into one HTML file.
+        from repro.obs.report import report_main
+
+        return report_main(argv[1:])
     args = build_argument_parser().parse_args(argv)
     level = logging.INFO if (args.verbose and not args.quiet) else logging.WARNING
     logging.basicConfig(level=level, format="%(levelname)s %(name)s: %(message)s")

@@ -26,6 +26,20 @@ from repro.obs.metrics import (
     record_mrt_occupancy,
 )
 from repro.obs.prof import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.progress import (
+    CallbackProgress,
+    CollectingProgress,
+    JSONLProgress,
+    NullProgressSink,
+    ProgressEvent,
+    ProgressSink,
+    ProgressTracker,
+    Straggler,
+    StragglerWatchdog,
+    TTYProgress,
+    lifecycle_sequence,
+    load_progress_log,
+)
 from repro.obs.render import render_lifetime_chart, render_mrt_occupancy
 from repro.obs.trace import (
     EVENT_TYPES,
@@ -65,6 +79,18 @@ __all__ = [
     "NULL_PROFILER",
     "NullProfiler",
     "Profiler",
+    "CallbackProgress",
+    "CollectingProgress",
+    "JSONLProgress",
+    "NullProgressSink",
+    "ProgressEvent",
+    "ProgressSink",
+    "ProgressTracker",
+    "Straggler",
+    "StragglerWatchdog",
+    "TTYProgress",
+    "lifecycle_sequence",
+    "load_progress_log",
     "render_lifetime_chart",
     "render_mrt_occupancy",
     "EVENT_TYPES",

@@ -70,9 +70,20 @@ class Timer:
 
 
 class Histogram:
-    """Distribution of observed values (kept exactly; corpora are small)."""
+    """Distribution of observed values (kept exactly; corpora are small).
+
+    Quantiles are computed over the *sorted* recorded values (nearest
+    rank), so they are independent of recording order — merging two
+    worker dumps in either order exports identical p50/p90/p99.  The
+    exact-values representation is what makes that guarantee trivial; a
+    sketch would have to prove mergeability instead.
+    """
 
     __slots__ = ("values",)
+
+    #: The latency quantiles exported everywhere (summary, batch exit
+    #: line, metrics dump, HTML report).
+    EXPORTED_QUANTILES = (0.50, 0.90, 0.99)
 
     def __init__(self) -> None:
         self.values: List[float] = []
@@ -91,16 +102,25 @@ class Histogram:
         index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
         return ordered[index]
 
+    def quantiles(self, fractions=EXPORTED_QUANTILES) -> Dict[str, float]:
+        """``{"p50": ..., "p90": ..., "p99": ...}`` over sorted values."""
+        return {
+            f"p{int(fraction * 100)}": self.percentile(fraction)
+            for fraction in fractions
+        }
+
     def summary(self) -> dict:
         if not self.values:
-            return {"count": 0, "min": 0, "max": 0, "mean": 0.0, "p50": 0, "p90": 0}
+            return {
+                "count": 0, "min": 0, "max": 0, "mean": 0.0,
+                "p50": 0, "p90": 0, "p99": 0,
+            }
         return {
             "count": len(self.values),
             "min": min(self.values),
             "max": max(self.values),
             "mean": sum(self.values) / len(self.values),
-            "p50": self.percentile(0.50),
-            "p90": self.percentile(0.90),
+            **self.quantiles(),
         }
 
 
@@ -204,7 +224,8 @@ class MetricsRegistry:
             s = histogram.summary()
             lines.append(
                 f"  {name:<34} n={s['count']} min={s['min']:g} "
-                f"p50={s['p50']:g} p90={s['p90']:g} max={s['max']:g} mean={s['mean']:.2f}"
+                f"p50={s['p50']:g} p90={s['p90']:g} p99={s['p99']:g} "
+                f"max={s['max']:g} mean={s['mean']:.2f}"
             )
         if len(lines) == 1:
             lines.append("  (no instruments recorded)")

@@ -29,9 +29,18 @@ into submission-ordered :class:`JobResult`\\ s plus a
 All three speak the same fault-tolerance protocol (in-worker ``SIGALRM``
 budgets, pool-side backstop, crash quarantine with bounded backoff —
 see :mod:`repro.service.pool`) and the same observability protocol
-(per-job spool files, see :mod:`repro.service.spool`), so results,
-merged traces and merged metrics are identical across backends and
-chunk sizes; only wall-clock changes.
+(per-job spool files, see :mod:`repro.service.spool`; per-job progress
+events, see :mod:`repro.obs.progress`), so results, merged traces,
+merged metrics and per-job progress sequences are identical across
+backends and chunk sizes; only wall-clock (and cross-job interleaving
+of the progress stream) changes.
+
+Progress contract: every backend emits ``started`` when it dispatches a
+job and exactly one terminal ``finished``/``failed`` event when that
+job's result materializes — including synthesized backstop-timeout
+results — plus ``quarantined`` before any crash-recovery resubmission.
+``progress`` is a plain callable (``ProgressTracker.emit``); ``None``
+(the default) skips every emission.
 """
 
 from __future__ import annotations
@@ -42,6 +51,12 @@ import math
 import pickle
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.progress import (
+    KIND_QUARANTINED,
+    KIND_STARTED,
+    job_event,
+    result_event,
+)
 from repro.service.jobs import (
     JOB_FAILED,
     JOB_TIMEOUT,
@@ -79,6 +94,7 @@ class ExecutionBackend:
         max_retries: int = 2,
         backoff: float = 0.1,
         spool_dir: Optional[str] = None,
+        progress=None,  # Optional[Callable[[ProgressEvent], None]]
     ) -> Tuple[List[JobResult], PoolStats]:
         raise NotImplementedError
 
@@ -94,6 +110,38 @@ def _finish(
     return ordered, stats
 
 
+def _emit_started(progress, job: ScheduleJob) -> None:
+    if progress is not None:
+        progress(job_event(KIND_STARTED, job.index, job.name))
+
+
+def _emit_result(progress, result: JobResult) -> None:
+    if progress is not None:
+        progress(result_event(result))
+
+
+def _emit_quarantined(progress, job: ScheduleJob) -> None:
+    if progress is not None:
+        progress(job_event(KIND_QUARANTINED, job.index, job.name))
+
+
+def _execute_serially(
+    jobs: Sequence[ScheduleJob],
+    machine,
+    timeout: Optional[float],
+    spool_dir: Optional[str],
+    progress,
+) -> List[JobResult]:
+    """The shared in-process path (serial backend + every fallback rung)."""
+    results = []
+    for job in jobs:
+        _emit_started(progress, job)
+        result = execute_job(job, machine, timeout, spool_dir=spool_dir)
+        _emit_result(progress, result)
+        results.append(result)
+    return results
+
+
 class SerialBackend(ExecutionBackend):
     """In-process execution: the fallback rung and the jobs=1 default."""
 
@@ -107,6 +155,7 @@ class SerialBackend(ExecutionBackend):
         max_retries: int = 2,
         backoff: float = 0.1,
         spool_dir: Optional[str] = None,
+        progress=None,
     ) -> Tuple[List[JobResult], PoolStats]:
         import time
 
@@ -114,9 +163,7 @@ class SerialBackend(ExecutionBackend):
             workers=1, jobs=len(jobs), backend=self.name, fallback_serial=True
         )
         started = time.perf_counter()
-        results = [
-            execute_job(job, machine, timeout, spool_dir=spool_dir) for job in jobs
-        ]
+        results = _execute_serially(jobs, machine, timeout, spool_dir, progress)
         return _finish(stats, results, started)
 
 
@@ -136,6 +183,7 @@ class ProcessBackend(ExecutionBackend):
         max_retries: int = 2,
         backoff: float = 0.1,
         spool_dir: Optional[str] = None,
+        progress=None,
     ) -> Tuple[List[JobResult], PoolStats]:
         import time
 
@@ -143,10 +191,7 @@ class ProcessBackend(ExecutionBackend):
         started = time.perf_counter()
         if self.workers <= 1 or len(jobs) <= 1:
             stats.fallback_serial = self.workers <= 1
-            results = [
-                execute_job(job, machine, timeout, spool_dir=spool_dir)
-                for job in jobs
-            ]
+            results = _execute_serially(jobs, machine, timeout, spool_dir, progress)
             return _finish(stats, results, started)
 
         results: Dict[int, JobResult] = {}
@@ -159,22 +204,23 @@ class ProcessBackend(ExecutionBackend):
             except (OSError, ValueError, RuntimeError):
                 # Degradation ladder, final rung: no subprocesses available.
                 stats.fallback_serial = True
-                for job in pending:
-                    results[job.index] = execute_job(
-                        job, machine, timeout, spool_dir=spool_dir
-                    )
+                for result in _execute_serially(
+                    pending, machine, timeout, spool_dir, progress
+                ):
+                    results[result.index] = result
                 pending = []
                 break
 
             broken = False
             hung = False
             try:
-                futures = {
-                    executor.submit(
+                futures = {}
+                for job in pending:
+                    future = executor.submit(
                         _pool_worker, (job, machine, timeout, spool_dir)
-                    ): job
-                    for job in pending
-                }
+                    )
+                    _emit_started(progress, job)
+                    futures[future] = job
                 backstop = None
                 if timeout is not None and timeout > 0:
                     waves = math.ceil(len(pending) / max(1, self.workers))
@@ -192,6 +238,7 @@ class ProcessBackend(ExecutionBackend):
                         except concurrent.futures.CancelledError:
                             continue
                         results[job.index] = result
+                        _emit_result(progress, result)
                 except concurrent.futures.TimeoutError:
                     # SIGALRM-immune hang: give up on everything unfinished.
                     hung = True
@@ -206,6 +253,7 @@ class ProcessBackend(ExecutionBackend):
                             status=JOB_TIMEOUT,
                             error="backstop: worker unresponsive past its budget",
                         )
+                        _emit_result(progress, results[job.index])
             finally:
                 # Never block on a broken pool or a hung worker; abandoning
                 # the stuck process is the price of finishing the batch.
@@ -219,10 +267,12 @@ class ProcessBackend(ExecutionBackend):
                 # pool, where a repeat offender can only crash itself.
                 stats.rebuilds += 1
                 for job in pending:
+                    _emit_quarantined(progress, job)
                     results[job.index] = run_quarantined(
                         job, machine, timeout, max_retries, backoff, stats,
                         spool_dir=spool_dir,
                     )
+                    _emit_result(progress, results[job.index])
                 pending = []
 
         return _finish(stats, list(results.values()), started)
@@ -313,6 +363,7 @@ class ChunkedProcessBackend(ExecutionBackend):
         max_retries: int = 2,
         backoff: float = 0.1,
         spool_dir: Optional[str] = None,
+        progress=None,
     ) -> Tuple[List[JobResult], PoolStats]:
         import time
 
@@ -320,10 +371,7 @@ class ChunkedProcessBackend(ExecutionBackend):
         started = time.perf_counter()
         if self.workers <= 1 or len(jobs) <= 1:
             stats.fallback_serial = self.workers <= 1
-            results = [
-                execute_job(job, machine, timeout, spool_dir=spool_dir)
-                for job in jobs
-            ]
+            results = _execute_serially(jobs, machine, timeout, spool_dir, progress)
             return _finish(stats, results, started)
 
         table, refs = _machine_table(jobs, machine)
@@ -347,10 +395,10 @@ class ChunkedProcessBackend(ExecutionBackend):
                 )
             except (OSError, ValueError, RuntimeError):
                 stats.fallback_serial = True
-                for job in pending:
-                    results[job.index] = execute_job(
-                        job, machine, timeout, spool_dir=spool_dir
-                    )
+                for result in _execute_serially(
+                    pending, machine, timeout, spool_dir, progress
+                ):
+                    results[result.index] = result
                 pending = []
                 break
 
@@ -358,17 +406,19 @@ class ChunkedProcessBackend(ExecutionBackend):
             broken = False
             hung = False
             try:
-                futures = {
-                    executor.submit(
+                futures = {}
+                for chunk in chunks:
+                    future = executor.submit(
                         _chunk_worker,
                         (
                             [(stripped[job.index], ref_of[job.index]) for job in chunk],
                             timeout,
                             spool_dir,
                         ),
-                    ): chunk
-                    for chunk in chunks
-                }
+                    )
+                    for job in chunk:
+                        _emit_started(progress, job)
+                    futures[future] = chunk
                 backstop = None
                 if timeout is not None and timeout > 0:
                     longest = max(len(chunk) for chunk in chunks)
@@ -389,6 +439,7 @@ class ChunkedProcessBackend(ExecutionBackend):
                             continue
                         for result in chunk_results:
                             results[result.index] = result
+                            _emit_result(progress, result)
                 except concurrent.futures.TimeoutError:
                     hung = True
                     for future, chunk in futures.items():
@@ -403,6 +454,7 @@ class ChunkedProcessBackend(ExecutionBackend):
                                 status=JOB_TIMEOUT,
                                 error="backstop: worker unresponsive past its budget",
                             )
+                            _emit_result(progress, results[job.index])
             finally:
                 executor.shutdown(wait=not (broken or hung), cancel_futures=True)
 
@@ -413,10 +465,12 @@ class ChunkedProcessBackend(ExecutionBackend):
                 # chunkmates down with it a second time.
                 stats.rebuilds += 1
                 for job in pending:
+                    _emit_quarantined(progress, job)
                     results[job.index] = run_quarantined(
                         job, machine, timeout, max_retries, backoff, stats,
                         spool_dir=spool_dir,
                     )
+                    _emit_result(progress, results[job.index])
                 pending = []
 
         return _finish(stats, list(results.values()), started)

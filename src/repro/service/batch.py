@@ -52,6 +52,18 @@ import tempfile
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.progress import (
+    KIND_SUBMITTED,
+    CallbackProgress,
+    JSONLProgress,
+    ProgressSink,
+    ProgressTracker,
+    Straggler,
+    StragglerWatchdog,
+    TTYProgress,
+    job_event,
+    result_event,
+)
 from repro.service.backends import (
     BACKEND_NAMES,
     ExecutionBackend,
@@ -95,6 +107,8 @@ class BatchReport:
     cache_location: Optional[str] = None  # backend.describe(), if caching
     spool: Optional[SpoolMergeStats] = None  # None unless observability on
     trace_records: Optional[List[dict]] = None  # merged events, loop-tagged
+    stragglers: Optional[List[Straggler]] = None  # None unless progress on
+    straggler_factor: Optional[float] = None
 
     @property
     def loop_metrics(self) -> list:
@@ -112,8 +126,34 @@ class BatchReport:
             tally[result.status] = tally.get(result.status, 0) + 1
         return tally
 
-    def summary(self) -> str:
-        """The CLI's multi-line summary block."""
+    def job_latencies(self) -> List[float]:
+        """Worker-side wall times of every computed (non-cached) job."""
+        return [
+            result.seconds
+            for result in self.results
+            if result.status != JOB_CACHED and result.seconds > 0
+        ]
+
+    def latency_quantiles(self) -> Optional[Dict[str, float]]:
+        """p50/p90/p99 over computed-job latencies (None when no jobs ran)."""
+        from repro.obs.metrics import Histogram
+
+        latencies = self.job_latencies()
+        if not latencies:
+            return None
+        histogram = Histogram()
+        for seconds in latencies:
+            histogram.record(seconds)
+        return histogram.quantiles()
+
+    def summary_lines(self) -> "Tuple[List[str], List[str]]":
+        """``(status_lines, diagnostic_lines)`` for the CLI wrap-up.
+
+        Status lines (counts, cache, pool, latency) describe the run;
+        diagnostic lines (spool degradation, stragglers, per-job
+        errors) are warnings and always belong on stderr so stdout can
+        carry machine-readable output (``--out -``).
+        """
         counts = self.counts()
         parts = " ".join(
             f"{status}={counts[status]}"
@@ -150,18 +190,43 @@ class BatchReport:
             f"retries={pool.retries}  rebuilds={pool.rebuilds}  "
             f"wall={self.wall_seconds:.2f}s ({rate:.1f} loops/s)"
         )
-        if self.spool is not None and self.spool.degraded:
+        quantiles = self.latency_quantiles()
+        if quantiles is not None:
             lines.append(
+                "latency: "
+                + "  ".join(
+                    f"{name}={seconds * 1e3:.1f}ms"
+                    for name, seconds in quantiles.items()
+                )
+                + f"  over {len(self.job_latencies())} computed job(s)"
+            )
+
+        diagnostics: List[str] = []
+        if self.spool is not None and self.spool.degraded:
+            diagnostics.append(
                 f"spool: DEGRADED  {self.spool.missing} missing, "
                 f"{self.spool.corrupt} corrupt "
                 f"(merged {self.spool.merged})"
             )
+        if self.stragglers:
+            worst = max(self.stragglers, key=lambda s: s.ratio)
+            factor = self.straggler_factor or 0.0
+            diagnostics.append(
+                f"stragglers: {len(self.stragglers)} job(s) exceeded "
+                f"{factor:g}x median latency "
+                f"(worst {worst.loop} at {worst.ratio:.1f}x, {worst.seconds:.2f}s)"
+            )
         for result in self.results:
             if not result.ok:
-                lines.append(
+                diagnostics.append(
                     f"  {result.status.upper()} {result.name}: {result.error}"
                 )
-        return "\n".join(lines)
+        return lines, diagnostics
+
+    def summary(self) -> str:
+        """The full multi-line summary block (status + diagnostics)."""
+        lines, diagnostics = self.summary_lines()
+        return "\n".join(lines + diagnostics)
 
 
 def _record_metrics(registry, report: BatchReport) -> None:
@@ -179,6 +244,9 @@ def _record_metrics(registry, report: BatchReport) -> None:
     registry.counter("service.pool.rebuilds").inc(report.pool.rebuilds)
     registry.gauge("service.pool.utilization").set(report.pool.utilization)
     registry.timer("service.batch.wall").add(report.wall_seconds)
+    latencies = registry.histogram("service.job.seconds")
+    for seconds in report.job_latencies():
+        latencies.record(seconds)
 
 
 def run_batch(
@@ -200,6 +268,9 @@ def run_batch(
     tracer=None,
     profiler=None,
     collect_trace: bool = False,
+    progress=None,
+    progress_log: Optional[str] = None,
+    straggler_factor: float = 4.0,
 ) -> BatchReport:
     """Schedule a batch of programs (DoLoop or LoopBody) as a service.
 
@@ -233,6 +304,16 @@ def run_batch(
         collect_trace: Force event collection even without a session
             tracer; the merged loop-tagged stream lands in
             ``report.trace_records`` (what CLI ``--trace`` writes).
+        progress: Optional progress consumer — a
+            :class:`repro.obs.ProgressSink` or a plain callable taking
+            one :class:`repro.obs.ProgressEvent`; receives the full
+            lifecycle stream (submitted/started/finished/cached/
+            failed/quarantined plus synthetic straggler events).
+        progress_log: Optional path; every progress event is appended
+            as JSONL while the batch runs (what CLI ``--progress-log``
+            writes).
+        straggler_factor: Flag jobs slower than this multiple of the
+            rolling median job latency (must exceed 1.0).
     """
     from repro.machine import cydra5
 
@@ -245,6 +326,26 @@ def run_batch(
         faults=faults,
         machines=machines,
     )
+
+    sinks: List[ProgressSink] = []
+    if progress is not None:
+        sinks.append(
+            progress
+            if isinstance(progress, ProgressSink)
+            else CallbackProgress(progress)
+        )
+    if progress_log is not None:
+        sinks.append(JSONLProgress(progress_log))
+    tracker: Optional[ProgressTracker] = None
+    if sinks or metrics is not None:
+        tracker = ProgressTracker(
+            total=len(all_jobs),
+            sinks=sinks,
+            metrics=metrics,
+            watchdog=StragglerWatchdog(factor=straggler_factor),
+        )
+        for job in all_jobs:
+            tracker.emit(job_event(KIND_SUBMITTED, job.index, job.name))
 
     cache: Optional[CacheBackend] = None
     cached_results: List[JobResult] = []
@@ -270,6 +371,8 @@ def run_batch(
                         metrics=hit,
                     )
                 )
+                if tracker is not None:
+                    tracker.emit(result_event(cached_results[-1]))
             else:
                 pending.append(job)
 
@@ -291,6 +394,7 @@ def run_batch(
             timeout=timeout,
             max_retries=max_retries,
             spool_dir=spool_dir,
+            progress=tracker.emit if tracker is not None else None,
         )
         if cache is not None:
             for result in computed:
@@ -309,6 +413,8 @@ def run_batch(
     finally:
         if spool_dir is not None:
             shutil.rmtree(spool_dir, ignore_errors=True)
+        if tracker is not None:
+            tracker.close()
 
     report = BatchReport(
         results=ordered,
@@ -318,6 +424,8 @@ def run_batch(
         cache_location=cache.describe() if cache is not None else None,
         spool=spool_stats,
         trace_records=trace_records,
+        stragglers=tracker.stragglers if tracker is not None else None,
+        straggler_factor=straggler_factor,
     )
     _record_metrics(metrics, report)
     if spool_stats is not None:
@@ -485,8 +593,16 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "--gc",
         action="store_true",
         help="garbage-collect the cache instead of scheduling: evict "
-        "entries past --max-cache-age, then oldest-first past "
+        "entries past --max-cache-age, then --gc-policy order past "
         "--max-cache-bytes",
+    )
+    parser.add_argument(
+        "--gc-policy",
+        choices=("oldest", "lru"),
+        default="oldest",
+        help="gc eviction order: oldest (creation time) or lru (last "
+        "access; sqlite records reads, directory caches approximate "
+        "with file mtime)",
     )
     parser.add_argument(
         "--max-cache-bytes",
@@ -524,7 +640,48 @@ def build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out",
         metavar="PATH",
-        help="write the per-loop LoopMetrics as a JSON array to PATH",
+        help="write the per-loop LoopMetrics as a JSON array to PATH "
+        "('-' writes the JSON to stdout and moves every status line "
+        "to stderr)",
+    )
+    parser.add_argument(
+        "--progress",
+        dest="progress",
+        action="store_true",
+        default=None,
+        help="force the live status line on stderr (default: only when "
+        "stderr is a terminal)",
+    )
+    parser.add_argument(
+        "--no-progress",
+        dest="progress",
+        action="store_false",
+        help="suppress the live status line",
+    )
+    parser.add_argument(
+        "--progress-log",
+        metavar="PATH",
+        help="append every progress event (submitted/started/finished/"
+        "cached/failed/quarantined/straggler) as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=4.0,
+        metavar="K",
+        help="flag jobs slower than K x the rolling median job latency "
+        "(default 4.0)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the merged service metrics registry (counters, "
+        "gauges, latency quantiles) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="write the merged profiler span snapshot as JSON to PATH",
     )
     parser.add_argument(
         "--inject",
@@ -552,7 +709,8 @@ def _gc_main(args) -> int:
     cache = open_cache(cache_dir=cache_dir, cache_db=args.cache_db)
     try:
         report = collect_garbage(
-            cache, max_bytes=max_bytes, max_age_seconds=max_age
+            cache, max_bytes=max_bytes, max_age_seconds=max_age,
+            policy=args.gc_policy,
         )
     finally:
         cache.close()
@@ -627,21 +785,56 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     elif cache_dir is None and args.cache_db is None:
         cache_dir = DEFAULT_CACHE_DIR
 
-    report = run_batch(
-        programs,
-        machine=machine,
-        algorithm=args.algorithm,
-        jobs=args.jobs,
-        timeout=args.timeout,
-        cache_dir=cache_dir,
-        cache_db=None if args.no_cache else args.cache_db,
-        backend=args.backend,
-        chunk_size=args.chunk_size,
-        machines=machines,
-        faults=_parse_faults(args.inject),
-        collect_trace=bool(args.trace),
-    )
-    print(report.summary())
+    if args.straggler_factor <= 1.0:
+        print("error: --straggler-factor must exceed 1.0", file=sys.stderr)
+        return 2
+
+    out_to_stdout = args.out == "-"
+    # Status lines describe the run; with --out - they join the
+    # diagnostics on stderr so stdout carries pure JSON.
+    status_stream = sys.stderr if out_to_stdout else sys.stdout
+
+    show_tty = args.progress
+    if show_tty is None:
+        show_tty = sys.stderr.isatty()
+
+    metrics = profiler = None
+    if args.metrics_out:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if args.profile_out:
+        from repro.obs.prof import Profiler
+
+        profiler = Profiler()
+
+    try:
+        report = run_batch(
+            programs,
+            machine=machine,
+            algorithm=args.algorithm,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            cache_dir=cache_dir,
+            cache_db=None if args.no_cache else args.cache_db,
+            backend=args.backend,
+            chunk_size=args.chunk_size,
+            machines=machines,
+            faults=_parse_faults(args.inject),
+            collect_trace=bool(args.trace),
+            metrics=metrics,
+            profiler=profiler,
+            progress=TTYProgress(total=len(programs)) if show_tty else None,
+            progress_log=args.progress_log,
+            straggler_factor=args.straggler_factor,
+        )
+    except OSError as exc:  # e.g. unwritable --progress-log
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    status_lines, diagnostics = report.summary_lines()
+    print("\n".join(status_lines), file=status_stream)
+    for line in diagnostics:
+        print(line, file=sys.stderr)
     if args.trace:
         try:
             write_trace_records(report.trace_records or [], args.trace)
@@ -650,9 +843,44 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(
             f"trace: {len(report.trace_records or [])} events "
-            f"({report.spool.merged if report.spool else 0} jobs) -> {args.trace}"
+            f"({report.spool.merged if report.spool else 0} jobs) -> {args.trace}",
+            file=status_stream,
         )
-    if args.out:
+    if args.metrics_out:
+        import json as _json
+
+        try:
+            with open(args.metrics_out, "w") as handle:
+                _json.dump(metrics.dump(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(
+                f"error: cannot write metrics registry to {args.metrics_out}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"metrics registry -> {args.metrics_out}", file=status_stream)
+    if args.profile_out:
+        import json as _json
+
+        try:
+            with open(args.profile_out, "w") as handle:
+                _json.dump(profiler.snapshot(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(
+                f"error: cannot write profile to {args.profile_out}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"profile snapshot -> {args.profile_out}", file=status_stream)
+    if args.progress_log:
+        print(f"progress log -> {args.progress_log}", file=status_stream)
+    if out_to_stdout:
+        from repro.experiments.export import to_json
+
+        print(to_json(report.loop_metrics))
+    elif args.out:
         from repro.experiments.export import write_json
 
         try:
@@ -660,7 +888,10 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         except OSError as exc:
             print(f"error: cannot write metrics to {args.out}: {exc}", file=sys.stderr)
             return 2
-        print(f"metrics: {len(report.loop_metrics)} records -> {args.out}")
+        print(
+            f"metrics: {len(report.loop_metrics)} records -> {args.out}",
+            file=status_stream,
+        )
     return 0 if report.ok else 1
 
 

@@ -103,6 +103,14 @@ class CacheEntry:
     key: str
     size_bytes: int
     created_unix: float
+    #: Last read time.  SQLite records it exactly (updated on every
+    #: hit); directory caches approximate it with the file mtime, which
+    #: equals creation time until the entry is rewritten.
+    accessed_unix: float = 0.0
+
+    def __post_init__(self):
+        if not self.accessed_unix:
+            self.accessed_unix = self.created_unix
 
 
 class CacheBackend:
@@ -217,6 +225,7 @@ class DirectoryCache(CacheBackend):
                     key=name[: -len(".json")],
                     size_bytes=stat.st_size,
                     created_unix=stat.st_mtime,
+                    accessed_unix=stat.st_mtime,
                 )
 
     def remove(self, key: str) -> bool:
@@ -261,8 +270,18 @@ class SQLiteCache(CacheBackend):
             " key TEXT PRIMARY KEY,"
             " payload TEXT NOT NULL,"
             " size_bytes INTEGER NOT NULL,"
-            " created_unix REAL NOT NULL)"
+            " created_unix REAL NOT NULL,"
+            " accessed_unix REAL)"
         )
+        # Databases written before LRU support lack the column; add it
+        # in place (NULL rows fall back to created_unix on read).
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(results)")
+        }
+        if "accessed_unix" not in columns:
+            self._conn.execute(
+                "ALTER TABLE results ADD COLUMN accessed_unix REAL"
+            )
 
     def describe(self) -> str:
         return f"sqlite:{self.path}"
@@ -293,6 +312,16 @@ class SQLiteCache(CacheBackend):
             self.stats.misses += 1
             self.stats.corrupt += 1
             return None
+        # Record the read so --gc-policy lru can keep hot entries; a
+        # failed touch (read-only mount, concurrent vacuum) must not
+        # turn the hit into anything else.
+        try:
+            self._conn.execute(
+                "UPDATE results SET accessed_unix = ? WHERE key = ?",
+                (time.time(), key),
+            )
+        except sqlite3.Error:
+            pass
         self.stats.hits += 1
         return metrics
 
@@ -300,15 +329,18 @@ class SQLiteCache(CacheBackend):
         import sqlite3
 
         payload = json.dumps(metrics_to_payload(key, metrics), sort_keys=True)
+        stamp = time.time() if created_unix is None else created_unix
         try:
             self._conn.execute(
                 "INSERT OR REPLACE INTO results"
-                " (key, payload, size_bytes, created_unix) VALUES (?, ?, ?, ?)",
+                " (key, payload, size_bytes, created_unix, accessed_unix)"
+                " VALUES (?, ?, ?, ?, ?)",
                 (
                     key,
                     payload,
                     len(payload.encode("utf-8")),
-                    time.time() if created_unix is None else created_unix,
+                    stamp,
+                    stamp,
                 ),
             )
         except sqlite3.Error:
@@ -322,13 +354,18 @@ class SQLiteCache(CacheBackend):
 
         try:
             rows = self._conn.execute(
-                "SELECT key, size_bytes, created_unix FROM results ORDER BY key"
+                "SELECT key, size_bytes, created_unix,"
+                " COALESCE(accessed_unix, created_unix)"
+                " FROM results ORDER BY key"
             ).fetchall()
         except sqlite3.Error:
             return
-        for key, size_bytes, created_unix in rows:
+        for key, size_bytes, created_unix, accessed_unix in rows:
             yield CacheEntry(
-                key=key, size_bytes=size_bytes, created_unix=created_unix
+                key=key,
+                size_bytes=size_bytes,
+                created_unix=created_unix,
+                accessed_unix=accessed_unix,
             )
 
     def remove(self, key: str) -> bool:
@@ -404,30 +441,48 @@ class GCReport:
         )
 
 
+#: Eviction orders: which per-entry timestamp drives aging and sorting.
+GC_POLICIES = ("oldest", "lru")
+
+
 def collect_garbage(
     backend: CacheBackend,
     max_bytes: Optional[int] = None,
     max_age_seconds: Optional[float] = None,
     now: Optional[float] = None,
+    policy: str = "oldest",
 ) -> GCReport:
     """Evict entries until the cache fits its bounds.
 
-    Policy (applied oldest-first, so a size bound keeps the youngest
-    entries): an entry is evicted when it is older than
-    ``max_age_seconds``, or while the total size still exceeds
-    ``max_bytes``.  With neither bound set, nothing is evicted — the
-    report is a dry inventory.  Works against any
-    :class:`CacheBackend`; eviction failures are counted, never raised.
+    ``policy`` picks the timestamp that orders eviction (and ages
+    entries against ``max_age_seconds``): ``"oldest"`` uses creation
+    time, ``"lru"`` uses last access — sqlite backends record reads
+    exactly, directory caches approximate access with file mtime.
+    Either way the least-valuable entries go first, so a size bound
+    keeps the youngest (or most recently used) entries: an entry is
+    evicted when it is older than ``max_age_seconds``, or while the
+    total size still exceeds ``max_bytes``.  With neither bound set,
+    nothing is evicted — the report is a dry inventory.  Works against
+    any :class:`CacheBackend`; eviction failures are counted, never
+    raised.
     """
+    if policy not in GC_POLICIES:
+        raise ValueError(
+            f"unknown gc policy {policy!r}; pick from {', '.join(GC_POLICIES)}"
+        )
     now = time.time() if now is None else now
-    entries = sorted(backend.entries(), key=lambda e: (e.created_unix, e.key))
+    stamp = (
+        (lambda e: e.accessed_unix)
+        if policy == "lru"
+        else (lambda e: e.created_unix)
+    )
+    entries = sorted(backend.entries(), key=lambda e: (stamp(e), e.key))
     report = GCReport(examined=len(entries))
     total = sum(entry.size_bytes for entry in entries)
     report.bytes_before = total
     for entry in entries:
         expired = (
-            max_age_seconds is not None
-            and now - entry.created_unix > max_age_seconds
+            max_age_seconds is not None and now - stamp(entry) > max_age_seconds
         )
         over_budget = max_bytes is not None and total > max_bytes
         if not (expired or over_budget):

@@ -289,6 +289,7 @@ def run_jobs(
     max_retries: int = 2,
     backoff: float = 0.1,
     spool_dir: Optional[str] = None,
+    progress=None,
 ) -> Tuple[List[JobResult], PoolStats]:
     """Historical entry point: auto-select a backend and execute.
 
@@ -307,4 +308,5 @@ def run_jobs(
         max_retries=max_retries,
         backoff=backoff,
         spool_dir=spool_dir,
+        progress=progress,
     )

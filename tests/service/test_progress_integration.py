@@ -1,0 +1,308 @@
+"""Progress through the service: backend parity, CLI streams, LRU GC."""
+
+import json
+import sys
+
+import pytest
+
+from repro.machine import cydra5
+from repro.obs.progress import (
+    KIND_CACHED,
+    KIND_FINISHED,
+    KIND_QUARANTINED,
+    KIND_STARTED,
+    KIND_SUBMITTED,
+    CollectingProgress,
+    lifecycle_sequence,
+)
+from repro.service.batch import batch_main, run_batch
+from repro.service.cache import SQLiteCache, collect_garbage
+from repro.workloads import paper_corpus
+
+MACHINE = cydra5()
+N = 6
+BACKENDS = ("serial", "process", "chunked")
+
+
+def _events(backend, **kwargs):
+    sink = CollectingProgress()
+    report = run_batch(
+        paper_corpus(N), MACHINE, backend=backend, jobs=2,
+        use_cache=False, progress=sink, **kwargs,
+    )
+    return report, sink.events
+
+
+def test_every_backend_emits_identical_lifecycle_sequences():
+    """The parity contract: serial, process and chunked runs differ only
+    in timestamps and cross-job interleaving."""
+    sequences = []
+    for backend in BACKENDS:
+        report, events = _events(backend)
+        assert report.ok
+        sequences.append(lifecycle_sequence(events))
+    assert sequences[0] == sequences[1] == sequences[2]
+    assert sequences[0] == {
+        index: [KIND_SUBMITTED, KIND_STARTED, KIND_FINISHED]
+        for index in range(N)
+    }
+
+
+def test_submitted_events_arrive_in_index_order():
+    _, events = _events("serial")
+    submitted = [e.job for e in events if e.kind == KIND_SUBMITTED]
+    assert submitted == list(range(N))
+    # Timestamps never go backwards within the emission stream.
+    timestamps = [e.ts for e in events]
+    assert timestamps == sorted(timestamps)
+
+
+def test_cache_hits_emit_cached_without_started(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    run_batch(paper_corpus(N), MACHINE, cache_dir=cache_dir)
+    sink = CollectingProgress()
+    report = run_batch(
+        paper_corpus(N), MACHINE, cache_dir=cache_dir, progress=sink
+    )
+    assert report.cache.hits == N
+    assert lifecycle_sequence(sink.events) == {
+        index: [KIND_SUBMITTED, KIND_CACHED] for index in range(N)
+    }
+
+
+@pytest.mark.parametrize("backend", ["process", "chunked"])
+def test_crashed_job_emits_quarantined_then_terminal(backend):
+    report, events = _events(backend, faults={2: "crash"}, max_retries=0)
+    sequences = lifecycle_sequence(events)
+    assert sequences[2][0] == KIND_SUBMITTED
+    assert KIND_QUARANTINED in sequences[2]
+    assert sequences[2][-1] == "failed"
+    # Healthy jobs still complete; ones in flight when the pool broke may
+    # legitimately pass through quarantine on their way to finishing.
+    for index, sequence in sequences.items():
+        if index == 2:
+            continue
+        assert sequence[0] == KIND_SUBMITTED
+        assert sequence[-1] == KIND_FINISHED
+    assert not report.ok
+
+
+def test_progress_log_and_report_fields(tmp_path):
+    log = str(tmp_path / "p.jsonl")
+    report = run_batch(
+        paper_corpus(4), MACHINE, use_cache=False, progress_log=log
+    )
+    from repro.obs.progress import load_progress_log
+
+    events = load_progress_log(log)
+    assert len(events) == 3 * 4  # submitted + started + finished per job
+    assert report.stragglers == []
+    assert report.straggler_factor == 4.0
+    assert "latency: p50=" in report.summary()
+
+
+# ----------------------------------------------------------------------
+# CLI stream routing
+# ----------------------------------------------------------------------
+def _write_loop(tmp_path):
+    source = tmp_path / "a.loop"
+    source.write_text(
+        "loop tiny\n"
+        "array x 64\n"
+        "array y 64\n"
+        "do i = 2, 9\n"
+        "    x(i) = y(i) * (y(i) - x(i-1))\n"
+        "end do\n"
+    )
+    return str(source)
+
+
+def test_out_dash_keeps_stdout_machine_parseable(tmp_path, capsys, monkeypatch):
+    """With --out -, stdout is exactly the JSON array; every status and
+    diagnostic line goes to stderr."""
+    monkeypatch.chdir(tmp_path)
+    code = batch_main([_write_loop(tmp_path), "--no-cache", "--out", "-"])
+    captured = capsys.readouterr()
+    assert code == 0
+    records = json.loads(captured.out)  # would raise if a status line leaked
+    assert len(records) == 1
+    assert "batch: 1 loops" in captured.err
+    assert "pool:" in captured.err
+
+
+def test_default_run_keeps_summary_on_stdout(tmp_path, capsys, monkeypatch):
+    """Without --out -, the status block stays on stdout (CI greps it)
+    while diagnostics like injected failures go to stderr."""
+    monkeypatch.chdir(tmp_path)
+    source = _write_loop(tmp_path)
+    code = batch_main([source, source, "--no-cache", "--inject", "1:raise"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "batch: 2 loops" in captured.out
+    assert "cache:" not in captured.out  # --no-cache: no cache line at all
+    assert "FAILED" in captured.err
+    assert "FAILED" not in captured.out
+
+
+def test_spool_degraded_goes_to_stderr():
+    from repro.service.batch import BatchReport
+    from repro.service.pool import PoolStats
+    from repro.service.spool import SpoolMergeStats
+
+    report = BatchReport(
+        results=[],
+        pool=PoolStats(workers=1, jobs=0),
+        cache=None,
+        wall_seconds=0.0,
+        spool=SpoolMergeStats(merged=1, events=0, missing=2, corrupt=0),
+    )
+    status_lines, diagnostics = report.summary_lines()
+    assert not any("DEGRADED" in line for line in status_lines)
+    assert any("spool: DEGRADED" in line for line in diagnostics)
+
+
+def test_straggler_warning_is_a_diagnostic():
+    from repro.obs.progress import Straggler
+    from repro.service.batch import BatchReport
+    from repro.service.pool import PoolStats
+
+    report = BatchReport(
+        results=[],
+        pool=PoolStats(workers=1, jobs=0),
+        cache=None,
+        wall_seconds=0.0,
+        stragglers=[
+            Straggler(job=1, loop="ll2", seconds=2.0, ratio=8.0, in_flight=False)
+        ],
+        straggler_factor=4.0,
+    )
+    _, diagnostics = report.summary_lines()
+    assert any("stragglers: 1 job(s) exceeded 4x" in line for line in diagnostics)
+
+
+# ----------------------------------------------------------------------
+# LRU cache GC
+# ----------------------------------------------------------------------
+def _metrics():
+    from repro.experiments import measure_loop
+    from repro.workloads.livermore import kernel3_inner_product
+
+    return measure_loop(kernel3_inner_product(), MACHINE)
+
+
+def test_sqlite_get_refreshes_access_time(tmp_path, monkeypatch):
+    now = [1000.0]
+    monkeypatch.setattr("repro.service.cache.time.time", lambda: now[0])
+    cache = SQLiteCache(str(tmp_path / "c.sqlite"))
+    cache.put("aa", _metrics())
+    cache.put("bb", _metrics())
+    now[0] = 2000.0
+    assert cache.get("aa") is not None
+    entries = {entry.key: entry for entry in cache.entries()}
+    assert entries["aa"].accessed_unix == 2000.0
+    assert entries["aa"].created_unix == 1000.0
+    assert entries["bb"].accessed_unix == 1000.0
+    cache.close()
+
+
+def test_lru_policy_keeps_recently_read_entry(tmp_path, monkeypatch):
+    now = [1000.0]
+    monkeypatch.setattr("repro.service.cache.time.time", lambda: now[0])
+    cache = SQLiteCache(str(tmp_path / "c.sqlite"))
+    cache.put("old-but-hot", _metrics())
+    now[0] = 1500.0
+    cache.put("young-but-cold", _metrics())
+    now[0] = 2000.0
+    assert cache.get("old-but-hot") is not None
+
+    # Oldest-first would evict old-but-hot; LRU evicts the unread entry.
+    total = sum(entry.size_bytes for entry in cache.entries())
+    report = collect_garbage(cache, max_bytes=total - 1, policy="lru", now=2000.0)
+    assert report.removed == 1
+    assert {entry.key for entry in cache.entries()} == {"old-but-hot"}
+    cache.close()
+
+
+def test_oldest_policy_ignores_access_time(tmp_path, monkeypatch):
+    now = [1000.0]
+    monkeypatch.setattr("repro.service.cache.time.time", lambda: now[0])
+    cache = SQLiteCache(str(tmp_path / "c.sqlite"))
+    cache.put("older", _metrics())
+    now[0] = 1500.0
+    cache.put("newer", _metrics())
+    now[0] = 2000.0
+    assert cache.get("older") is not None
+    total = sum(entry.size_bytes for entry in cache.entries())
+    report = collect_garbage(
+        cache, max_bytes=total - 1, policy="oldest", now=2000.0
+    )
+    assert report.removed == 1
+    assert {entry.key for entry in cache.entries()} == {"newer"}
+    cache.close()
+
+
+def test_lru_age_bound_uses_access_time(tmp_path, monkeypatch):
+    now = [1000.0]
+    monkeypatch.setattr("repro.service.cache.time.time", lambda: now[0])
+    cache = SQLiteCache(str(tmp_path / "c.sqlite"))
+    cache.put("hot", _metrics())
+    cache.put("cold", _metrics())
+    now[0] = 5000.0
+    assert cache.get("hot") is not None
+    report = collect_garbage(cache, max_age_seconds=1000.0, policy="lru", now=5000.0)
+    assert report.removed == 1
+    assert {entry.key for entry in cache.entries()} == {"hot"}
+    cache.close()
+
+
+def test_directory_cache_lru_falls_back_to_mtime(tmp_path):
+    from repro.service.cache import DirectoryCache
+
+    cache = DirectoryCache(str(tmp_path / "cache"))
+    cache.put("aa", _metrics())
+    for entry in cache.entries():
+        assert entry.accessed_unix == entry.created_unix
+    # Both policies behave identically when access == creation.
+    assert collect_garbage(cache, policy="lru").examined == 1
+
+
+def test_collect_garbage_rejects_unknown_policy(tmp_path):
+    from repro.service.cache import DirectoryCache
+
+    with pytest.raises(ValueError):
+        collect_garbage(DirectoryCache(str(tmp_path)), policy="newest")
+
+
+def test_sqlite_schema_migration_adds_access_column(tmp_path):
+    """A pre-LRU database (no accessed_unix column) opens cleanly and
+    old rows fall back to their creation time."""
+    import sqlite3
+
+    path = str(tmp_path / "legacy.sqlite")
+    conn = sqlite3.connect(path)
+    conn.execute(
+        "CREATE TABLE results (key TEXT PRIMARY KEY, payload TEXT NOT NULL,"
+        " size_bytes INTEGER NOT NULL, created_unix REAL NOT NULL)"
+    )
+    conn.execute(
+        "INSERT INTO results VALUES ('k', 'junk', 4, 123.0)"
+    )
+    conn.commit()
+    conn.close()
+
+    cache = SQLiteCache(path)
+    entries = list(cache.entries())
+    assert len(entries) == 1
+    assert entries[0].accessed_unix == 123.0
+    cache.close()
+
+
+def test_gc_cli_accepts_policy_flag(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    db = str(tmp_path / "c.sqlite")
+    cache = SQLiteCache(db)
+    cache.put("aa", _metrics())
+    cache.close()
+    code = batch_main(["--gc", "--gc-policy", "lru", "--cache-db", db])
+    assert code == 0
+    assert "gc: examined 1" in capsys.readouterr().out
