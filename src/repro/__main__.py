@@ -4,4 +4,9 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe; die quietly like cat does.
+    sys.stderr.close()
+    sys.exit(141)

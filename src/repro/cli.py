@@ -9,6 +9,8 @@
     python -m repro batch --corpus 60 --jobs 4 --trace t.jsonl --cache-db r.sqlite
     python -m repro batch --gc --max-cache-bytes 500M  # cache eviction
     python -m repro report --metrics m.json --out report.html  # HTML report
+    python -m repro history record --db h.sqlite bench-out/    # bench history
+    python -m repro history trend --db h.sqlite                # MAD anomaly scan
 
 Prints lower bounds, the found schedule, register pressure against the
 MinAvg bound, optionally the generated kernel-only VLIW code, and
@@ -37,6 +39,13 @@ cache eviction (``--gc --max-cache-bytes/--max-cache-age``),
 heterogeneous machine sweeps (``--sweep-load-latency 2,13,27``), and a
 merged cross-process scheduler trace (``--trace``) that is identical at
 any ``--jobs`` level.
+
+The ``history`` subcommand keeps an append-only sqlite store of bench
+envelopes and batch summaries: ``record`` ingests BENCH_*.json files,
+``trend`` runs a rolling-median + MAD anomaly scan over every metric
+series, and ``compare`` diffs two recorded runs with provenance
+warnings and span-level regression attribution (see
+``repro.obs.history``).
 """
 
 from __future__ import annotations
@@ -157,6 +166,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.report import report_main
 
         return report_main(argv[1:])
+    if argv and argv[0] == "history":
+        # Subcommand: append-only bench history + trends (obs.history).
+        from repro.obs.history import history_main
+
+        return history_main(argv[1:])
     args = build_argument_parser().parse_args(argv)
     level = logging.INFO if (args.verbose and not args.quiet) else logging.WARNING
     logging.basicConfig(level=level, format="%(levelname)s %(name)s: %(message)s")

@@ -9,7 +9,7 @@ decision (benchmarked <5%).  See DESIGN.md §"Observability" for the
 event schema and hook locations.
 """
 
-from repro.obs.explain import explain
+from repro.obs.explain import explain, flight_postmortem
 from repro.obs.export import (
     load_jsonl,
     to_chrome_trace,
@@ -41,7 +41,16 @@ from repro.obs.progress import (
     load_progress_log,
 )
 from repro.obs.render import render_lifetime_chart, render_mrt_occupancy
+from repro.obs.history import (
+    HistoryError,
+    HistoryRun,
+    HistoryStore,
+    MetricTrend,
+    mad_anomalies,
+    metric_trends,
+)
 from repro.obs.trace import (
+    DEFAULT_FLIGHT_CAPACITY,
     EVENT_TYPES,
     NULL_TRACER,
     AttemptFail,
@@ -50,8 +59,10 @@ from repro.obs.trace import (
     CapGrow,
     CollectingTracer,
     Eject,
+    FlightRecorder,
     ForcePlace,
     IIEscalate,
+    JobStart,
     NullTracer,
     Place,
     ScheduleFound,
@@ -65,6 +76,13 @@ from repro.obs.trace import (
 
 __all__ = [
     "explain",
+    "flight_postmortem",
+    "HistoryError",
+    "HistoryRun",
+    "HistoryStore",
+    "MetricTrend",
+    "mad_anomalies",
+    "metric_trends",
     "load_jsonl",
     "to_chrome_trace",
     "to_jsonl",
@@ -93,6 +111,7 @@ __all__ = [
     "load_progress_log",
     "render_lifetime_chart",
     "render_mrt_occupancy",
+    "DEFAULT_FLIGHT_CAPACITY",
     "EVENT_TYPES",
     "NULL_TRACER",
     "AttemptFail",
@@ -101,8 +120,10 @@ __all__ = [
     "CapGrow",
     "CollectingTracer",
     "Eject",
+    "FlightRecorder",
     "ForcePlace",
     "IIEscalate",
+    "JobStart",
     "NullTracer",
     "Place",
     "ScheduleFound",

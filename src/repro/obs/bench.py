@@ -75,6 +75,7 @@ def wrap_payload(schema: str, body: dict) -> dict:
         "git_sha": git_sha(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
         **body,
     }
 

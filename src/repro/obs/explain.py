@@ -189,3 +189,78 @@ def explain(
         lines.append("")
         lines.append(metrics.render())
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Flight-recorder post-mortems (crashed/timed-out/failed jobs)
+# ----------------------------------------------------------------------
+def _format_flight_record(record: dict) -> str:
+    """One ``[seq] kind key=value ...`` line from a dumped event dict."""
+    detail = " ".join(
+        f"{key}={record[key]}"
+        for key in sorted(record)
+        if key not in ("kind", "seq", "ts")
+    )
+    kind = record.get("kind", "?")
+    seq = record.get("seq", 0)
+    return f"  [{seq:>4}] {kind}" + (f"  {detail}" if detail else "")
+
+
+def _ops_in_flight(records: List[dict]) -> List[int]:
+    """Replay Place/Eject within the ring window: ops still placed at death.
+
+    The window may open mid-attempt (older events fell off the ring), so
+    this is the set of operations *seen placed and not ejected* within
+    the recorded tail — the ops the scheduler was actively juggling when
+    the worker died.
+    """
+    placed: dict = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "attempt_start":
+            placed = {}
+        elif kind == "place":
+            placed[record.get("oid")] = True
+        elif kind == "eject":
+            placed.pop(record.get("oid"), None)
+    return sorted(oid for oid in placed if oid is not None)
+
+
+def flight_postmortem(
+    name: str,
+    records: List[dict],
+    status: Optional[str] = None,
+    error: Optional[str] = None,
+) -> str:
+    """Render a flight-recorder dump (oldest-first event dicts).
+
+    This is the failure-side sibling of :func:`explain`: no
+    ``ScheduleResult`` exists (the worker died, timed out, or raised),
+    so the narrative is built purely from the ring's event tail — the
+    last scheduler decisions in flight when the job ended.
+    """
+    lines: List[str] = [f"=== post-mortem: {name} ==="]
+    header = []
+    if status is not None:
+        header.append(f"status={status}")
+    if error:
+        header.append(f"error: {error}")
+    if header:
+        lines.append("  ".join(header))
+    if not records:
+        lines.append("flight recorder: empty (job died before its first event)")
+        return "\n".join(lines)
+
+    first_seq = records[0].get("seq", 0)
+    dropped = first_seq if isinstance(first_seq, int) and first_seq > 0 else 0
+    note = f" ({dropped} earlier dropped from the ring)" if dropped else ""
+    lines.append(f"flight recorder: last {len(records)} event(s){note}:")
+    lines.extend(_format_flight_record(record) for record in records)
+
+    in_flight = _ops_in_flight(records)
+    if in_flight:
+        lines.append(
+            f"ops in flight at death ({len(in_flight)}): "
+            + ", ".join(str(oid) for oid in in_flight)
+        )
+    return "\n".join(lines)

@@ -81,6 +81,7 @@ class ProgressEvent:
     status: Optional[str] = None  # job status for terminal events
     seconds: Optional[float] = None  # job latency (terminal) / elapsed
     ratio: Optional[float] = None  # straggler: latency over median
+    flight: Optional[List[dict]] = None  # flight-recorder dump (failures)
 
     def to_dict(self) -> dict:
         record = {
@@ -97,6 +98,8 @@ class ProgressEvent:
             record["seconds"] = self.seconds
         if self.ratio is not None:
             record["ratio"] = self.ratio
+        if self.flight is not None:
+            record["flight"] = self.flight
         return record
 
 
@@ -115,6 +118,7 @@ def event_from_dict(record: dict) -> ProgressEvent:
         status=record.get("status"),
         seconds=record.get("seconds"),
         ratio=record.get("ratio"),
+        flight=record.get("flight"),
     )
 
 
@@ -135,16 +139,21 @@ def job_event(
     loop: str,
     status: Optional[str] = None,
     seconds: Optional[float] = None,
+    flight: Optional[List[dict]] = None,
 ) -> ProgressEvent:
     """Stamp one lifecycle event with the current wall clock."""
     return ProgressEvent(
         kind=kind, job=index, loop=loop, ts=time.time(),
-        status=status, seconds=seconds,
+        status=status, seconds=seconds, flight=flight,
     )
 
 
 def result_event(result) -> ProgressEvent:
-    """The terminal event for a :class:`repro.service.jobs.JobResult`."""
+    """The terminal event for a :class:`repro.service.jobs.JobResult`.
+
+    Failure events carry the job's flight-recorder dump (when one was
+    captured), so a progress log is a self-contained post-mortem source.
+    """
     from repro.service.jobs import JOB_CACHED, JOB_OK
 
     if result.status == JOB_CACHED:
@@ -156,6 +165,7 @@ def result_event(result) -> ProgressEvent:
     return job_event(
         kind, result.index, result.name,
         status=result.status, seconds=result.seconds or None,
+        flight=getattr(result, "flight", None) or None,
     )
 
 

@@ -180,6 +180,144 @@ def gating_regressions(deltas: List[MetricDelta]) -> List[MetricDelta]:
     return [d for d in deltas if d.is_regression and d.gating]
 
 
+# ----------------------------------------------------------------------
+# Provenance checks
+# ----------------------------------------------------------------------
+#: Envelope fields whose disagreement makes time metrics incomparable.
+PROVENANCE_FIELDS = ("platform", "python", "cpu_count")
+
+
+def provenance_mismatches(old_payload: dict, new_payload: dict) -> List[str]:
+    """Warnings for envelope fields that differ between OLD and NEW.
+
+    Only fields present in *both* payloads are compared, so baselines
+    recorded before a field existed (e.g. ``cpu_count``) do not warn.
+    """
+    warnings = []
+    for field in PROVENANCE_FIELDS:
+        old_value = old_payload.get(field)
+        new_value = new_payload.get(field)
+        if old_value is None or new_value is None:
+            continue
+        if old_value != new_value:
+            warnings.append(
+                f"provenance mismatch: {field} differs "
+                f"(old={old_value!r}, new={new_value!r}) — "
+                "time metrics are not comparable across environments"
+            )
+    return warnings
+
+
+def set_provenance_warnings(
+    old_payloads: Dict[str, dict], new_payloads: Dict[str, dict]
+) -> List[str]:
+    """Per-scenario provenance warnings across two result sets."""
+    warnings = []
+    for scenario in sorted(set(old_payloads) & set(new_payloads)):
+        for warning in provenance_mismatches(
+            old_payloads[scenario], new_payloads[scenario]
+        ):
+            warnings.append(f"{scenario}: {warning}")
+    return warnings
+
+
+# ----------------------------------------------------------------------
+# Span-level attribution (profiler snapshot diffs)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class SpanDelta:
+    """One profiler span's old-vs-new self-time comparison."""
+
+    path: str
+    old_self: float
+    new_self: float
+    old_calls: int = 0
+    new_calls: int = 0
+
+    @property
+    def delta_self(self) -> float:
+        """Absolute self-seconds change (+ = slower)."""
+        return self.new_self - self.old_self
+
+
+def diff_profiles(old_profile: dict, new_profile: dict) -> List[SpanDelta]:
+    """Span-by-span self-time diff of two profiler snapshots.
+
+    Sorted by self-seconds increase (the guiltiest span first): when a
+    scenario's wall time regressed, the top entry names which phase of
+    the scheduler — driver, framework, slack, MinDist — slowed down.
+    """
+    old_spans = (old_profile or {}).get("spans", {})
+    new_spans = (new_profile or {}).get("spans", {})
+    deltas = [
+        SpanDelta(
+            path=path,
+            old_self=old_spans.get(path, {}).get("self_seconds", 0.0),
+            new_self=new_spans.get(path, {}).get("self_seconds", 0.0),
+            old_calls=old_spans.get(path, {}).get("calls", 0),
+            new_calls=new_spans.get(path, {}).get("calls", 0),
+        )
+        for path in sorted(set(old_spans) | set(new_spans))
+    ]
+    deltas.sort(key=lambda d: (-d.delta_self, d.path))
+    return deltas
+
+
+def attribute_spans(
+    old_payload: dict, new_payload: dict, limit: int = 3
+) -> List[str]:
+    """Name the spans that account for a scenario's time regression.
+
+    Returns report lines (empty when either payload lacks a profile
+    snapshot or nothing slowed down).
+    """
+    old_profile = old_payload.get("profile")
+    new_profile = new_payload.get("profile")
+    if not old_profile or not new_profile:
+        return []
+    slower = [d for d in diff_profiles(old_profile, new_profile) if d.delta_self > 0]
+    if not slower:
+        return []
+    total = sum(d.delta_self for d in slower)
+    lines = ["span attribution (self-time increase, guiltiest first):"]
+    for delta in slower[:limit]:
+        share = delta.delta_self / total if total > 0 else 0.0
+        grew = (
+            delta.old_self * 100.0
+            if delta.old_self <= 0
+            else (delta.new_self / delta.old_self - 1.0) * 100.0
+        )
+        lines.append(
+            f"  {delta.path:<40} +{delta.delta_self * 1e3:.2f}ms self "
+            f"({share:.0%} of the slowdown, {grew:+.0f}% vs old, "
+            f"calls {delta.old_calls} -> {delta.new_calls})"
+        )
+    return lines
+
+
+def attribute_sets(
+    old_payloads: Dict[str, dict],
+    new_payloads: Dict[str, dict],
+    deltas: List[MetricDelta],
+    limit: int = 3,
+) -> List[str]:
+    """Span attribution for every scenario with a regressed time metric."""
+    guilty = sorted(
+        {d.scenario for d in deltas if d.is_regression and d.kind == "time"}
+    )
+    lines = []
+    for scenario in guilty:
+        old = old_payloads.get(scenario)
+        new = new_payloads.get(scenario)
+        if old is None or new is None:
+            continue
+        attribution = attribute_spans(old, new, limit=limit)
+        if attribution:
+            lines.append(f"{scenario}:")
+            lines.extend(f"  {line}" for line in attribution)
+    return lines
+
+
 def _fmt(value: Optional[float], unit: str) -> str:
     if value is None:
         return "-"
@@ -254,6 +392,10 @@ def compare_main(
     )
     print(render_table(deltas))
     print()
+    for warning in set_provenance_warnings(old_payloads, new_payloads):
+        print(f"warning: {warning}")
+    for line in attribute_sets(old_payloads, new_payloads, deltas):
+        print(line)
     print(summarize(deltas))
     if fail_on_regress and gating_regressions(deltas):
         print("FAIL: gating regression(s) detected")

@@ -380,6 +380,111 @@ def flamegraph_svg(spans: Dict[str, dict]) -> str:
     return "".join(parts)
 
 
+#: Sparkline geometry (small multiples in the history trend table).
+_SPARK_W = 220
+_SPARK_H = 36
+_SPARK_PAD = 5
+
+
+def sparkline_svg(
+    values: Sequence[Optional[float]], anomalies: Sequence[bool]
+) -> str:
+    """A small inline trend line: series-1 polyline, anomalies as
+    series-2 dots, the latest point as a filled series-1 dot."""
+    points = [
+        (index, value)
+        for index, value in enumerate(values)
+        if value is not None
+    ]
+    if not points:
+        return '<span class="empty">no data</span>'
+    lo = min(value for _, value in points)
+    hi = max(value for _, value in points)
+    span = hi - lo if hi > lo else 1.0
+    n = max(1, len(values) - 1)
+
+    def sx(index: int) -> float:
+        return _SPARK_PAD + (_SPARK_W - 2 * _SPARK_PAD) * index / n
+
+    def sy(value: float) -> float:
+        return _SPARK_PAD + (_SPARK_H - 2 * _SPARK_PAD) * (1 - (value - lo) / span)
+
+    parts = [
+        f'<svg class="spark" viewBox="0 0 {_SPARK_W} {_SPARK_H}" '
+        f'width="{_SPARK_W}" height="{_SPARK_H}" role="img">'
+    ]
+    if len(points) > 1:
+        path = " ".join(f"{sx(i):.2f},{sy(v):.2f}" for i, v in points)
+        parts.append(f'<polyline class="line" points="{path}"/>')
+    for index, value in points:
+        if index < len(anomalies) and anomalies[index]:
+            parts.append(
+                f'<circle class="anom" cx="{sx(index):.2f}" '
+                f'cy="{sy(value):.2f}" r="3">'
+                f"<title>run {index + 1}: {_fmt(value)} (anomaly)</title>"
+                "</circle>"
+            )
+    last_index, last_value = points[-1]
+    parts.append(
+        f'<circle class="last" cx="{sx(last_index):.2f}" '
+        f'cy="{sy(last_value):.2f}" r="3">'
+        f"<title>latest: {_fmt(last_value)}</title></circle>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _trend_section(scenario: str, trends: Sequence) -> str:
+    """One scenario's history card: sparkline + latest per metric."""
+    if not trends:
+        return ""
+    n_runs = len(trends[0].values)
+    rows = []
+    cells = []
+    for trend in trends:
+        latest = "-" if trend.latest is None else _fmt(trend.latest)
+        anomaly = (
+            f'<span class="bad">{trend.anomaly_count}</span>'
+            if trend.anomaly_count
+            else '<span class="muted">0</span>'
+        )
+        cells.append(
+            "<tr>"
+            f"<td>{_esc(trend.name)}</td>"
+            f'<td class="num">{_esc(latest)}</td>'
+            f"<td>{_esc(trend.unit)}</td>"
+            f'<td class="num">{anomaly}</td>'
+            f"<td>{sparkline_svg(trend.values, trend.anomalies)}</td></tr>"
+        )
+        rows.append(
+            (
+                trend.name,
+                latest,
+                trend.unit,
+                trend.anomaly_count,
+                " ".join(
+                    "-" if value is None else _fmt(value)
+                    for value in trend.values
+                ),
+            )
+        )
+    table = (
+        '<table class="data trend"><thead><tr><th>metric</th>'
+        '<th class="num">latest</th><th>unit</th>'
+        '<th class="num">anomalies</th><th>trend</th></tr></thead>'
+        f"<tbody>{''.join(cells)}</tbody></table>"
+    )
+    return _card(
+        f"History: {scenario}",
+        f"rolling-median + MAD anomaly scan over {n_runs} recorded run(s); "
+        "orange dots are anomalous points",
+        table
+        + _table_view(
+            ("metric", "latest", "unit", "anomalies", "values"), rows
+        ),
+    )
+
+
 def delta_table_html(deltas: Sequence[MetricDelta]) -> str:
     """The regression comparator as an HTML table (icon + word status)."""
     rows = []
@@ -684,6 +789,11 @@ details summary { cursor: pointer; color: #52514e; font-size: 12px;
 .good { color: #006300; }
 .bad { color: #d03b3b; }
 .muted { color: #898781; }
+svg.spark { display: inline-block; vertical-align: middle; }
+svg.spark .line { fill: none; stroke: #2a78d6; stroke-width: 1.5; }
+svg.spark .last { fill: #2a78d6; }
+svg.spark .anom { fill: #eb6834; }
+table.trend td { vertical-align: middle; }
 @media (prefers-color-scheme: dark) {
   :root { color-scheme: dark; }
   body { background: #0d0d0d; color: #ffffff; }
@@ -700,6 +810,9 @@ details summary { cursor: pointer; color: #52514e; font-size: 12px;
   .legend .key.s2 { background: #d95926; }
   table.data th, table.data td { border-bottom-color: #2c2c2a; }
   .good { color: #0ca30c; }
+  svg.spark .line { stroke: #3987e5; }
+  svg.spark .last { fill: #3987e5; }
+  svg.spark .anom { fill: #d95926; }
 }
 """
 
@@ -712,8 +825,14 @@ def build_report(
     trace_records: Optional[List[dict]] = None,
     progress_events: Optional[List[ProgressEvent]] = None,
     deltas: Optional[List[MetricDelta]] = None,
+    trends: Optional[Dict[str, List]] = None,
 ) -> str:
-    """Render the fused HTML report (pure function; byte-deterministic)."""
+    """Render the fused HTML report (pure function; byte-deterministic).
+
+    ``trends`` maps scenario name to its
+    :class:`repro.obs.history.MetricTrend` list (what ``--history``
+    loads); same palette and determinism rules as every other section.
+    """
     provenance = []
     if loop_records is not None:
         provenance.append(f"metrics ({len(loop_records)} loops)")
@@ -727,6 +846,8 @@ def build_report(
         provenance.append(f"progress log ({len(progress_events)} events)")
     if deltas is not None:
         provenance.append(f"comparison ({len(deltas)} metrics)")
+    if trends:
+        provenance.append(f"history ({len(trends)} scenarios)")
     sections: List[str] = [
         f"<h1>{_esc(title)}</h1>",
         '<p class="provenance">inputs: '
@@ -748,6 +869,9 @@ def build_report(
         sections.append(
             _card("Regression comparison", "", delta_table_html(deltas))
         )
+    if trends:
+        for scenario in sorted(trends):
+            sections.append(_trend_section(scenario, trends[scenario]))
     body = "".join(section for section in sections if section)
     return (
         "<!DOCTYPE html>\n"
@@ -800,6 +924,18 @@ def build_report_parser() -> argparse.ArgumentParser:
         "delta table",
     )
     parser.add_argument(
+        "--history",
+        metavar="DB",
+        help="history sqlite database (repro history record) to render "
+        "per-scenario trend sections with sparklines",
+    )
+    parser.add_argument(
+        "--history-limit",
+        type=int,
+        metavar="N",
+        help="last N history runs per scenario (default: all)",
+    )
+    parser.add_argument(
         "--title", default="repro batch report", help="report heading"
     )
     parser.add_argument(
@@ -815,12 +951,13 @@ def report_main(argv: Optional[List[str]] = None) -> int:
     args = build_report_parser().parse_args(argv)
     inputs = (
         args.metrics, args.registry, args.profile, args.trace,
-        args.progress_log, args.compare,
+        args.progress_log, args.compare, args.history,
     )
     if not any(inputs):
         print(
             "error: nothing to report — pass at least one of --metrics, "
-            "--registry, --profile, --trace, --progress-log, --compare",
+            "--registry, --profile, --trace, --progress-log, --compare, "
+            "--history",
             file=sys.stderr,
         )
         return 2
@@ -846,6 +983,30 @@ def report_main(argv: Optional[List[str]] = None) -> int:
             deltas = compare_sets(
                 collect_bench_files(old_path), collect_bench_files(new_path)
             )
+        trends = None
+        if args.history:
+            import sqlite3
+
+            from repro.obs.history import (
+                HistoryError,
+                HistoryStore,
+                metric_trends,
+            )
+
+            try:
+                store = HistoryStore(args.history)
+            except (HistoryError, sqlite3.Error) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            try:
+                trends = {
+                    scenario: metric_trends(
+                        store.runs(scenario, limit=args.history_limit)
+                    )
+                    for scenario in store.scenarios()
+                }
+            finally:
+                store.close()
     except (OSError, ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -857,6 +1018,7 @@ def report_main(argv: Optional[List[str]] = None) -> int:
         trace_records=trace_records,
         progress_events=progress_events,
         deltas=deltas,
+        trends=trends,
     )
     if args.out == "-":
         sys.stdout.write(document)

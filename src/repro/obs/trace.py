@@ -138,6 +138,20 @@ class ScheduleFound(TraceEvent):
     stages: int
 
 
+@dataclasses.dataclass
+class JobStart(TraceEvent):
+    """Service-level breadcrumb: a worker began executing a batch job.
+
+    Emitted into the flight recorder before fault injection and
+    scheduling, so even a job that dies before its first scheduler
+    decision leaves a non-empty post-mortem dump naming the victim.
+    """
+
+    kind: ClassVar[str] = "job_start"
+    job: int
+    loop: str
+
+
 #: kind tag -> event class, for deserialization (see obs.export).
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
@@ -151,6 +165,7 @@ EVENT_TYPES: Dict[str, type] = {
         IIEscalate,
         AttemptFail,
         ScheduleFound,
+        JobStart,
     )
 }
 
@@ -212,6 +227,69 @@ class CollectingTracer(Tracer):
         event.ts = self._clock()
         self._seq += 1
         self.events.append(event)
+
+
+#: Default flight-recorder ring capacity: big enough to cover an
+#: ejection cascade plus the attempt header, small enough that a dump
+#: pickles/serializes in microseconds.
+DEFAULT_FLIGHT_CAPACITY = 64
+
+
+class FlightRecorder(Tracer):
+    """A bounded ring of the last N events, kept at near-zero cost.
+
+    The batch service runs every job under one of these so that a
+    crash, timeout, or quarantine can attach the final scheduler
+    decisions to the failure record — a flight recorder, not a full
+    trace.  Two cost rules keep it on by default:
+
+    * ``emit`` stamps only a sequence number (no ``perf_counter``
+      call): one modulo, one list store.  The trace_overhead bench
+      holds it under the same 5% ceiling as the NullTracer.
+    * ``append`` stores a reference *without* stamping, so the ring
+      can shadow a :class:`CollectingTracer` (which already stamped
+      seq/ts) without fighting over the fields.
+
+    ``dump()`` returns plain dicts (oldest first), safe to pickle
+    across the worker boundary and to serialize into progress logs.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"flight capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: List[Optional[TraceEvent]] = [None] * capacity
+        self._count = 0
+
+    @property
+    def total(self) -> int:
+        """Events ever seen (>= len(events()) once the ring wraps)."""
+        return self._count
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the front of the ring."""
+        return max(0, self._count - self.capacity)
+
+    def append(self, event: TraceEvent) -> None:
+        """Keep a reference without stamping (tee behind another tracer)."""
+        self._ring[self._count % self.capacity] = event
+        self._count += 1
+
+    def emit(self, event: TraceEvent) -> None:
+        event.seq = self._count
+        self.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        """Ring contents, oldest to newest."""
+        if self._count <= self.capacity:
+            return list(self._ring[: self._count])
+        pivot = self._count % self.capacity
+        return self._ring[pivot:] + self._ring[:pivot]
+
+    def dump(self) -> List[dict]:
+        """The ring as JSON-safe dicts (what failure records carry)."""
+        return [event.to_dict() for event in self.events()]
 
 
 # ----------------------------------------------------------------------

@@ -66,6 +66,7 @@ from repro.service.jobs import (
 )
 from repro.service.pool import (
     BACKSTOP_GRACE,
+    DEFAULT_FLIGHT_CAPACITY,
     PoolStats,
     _pool_worker,
     _tally,
@@ -95,6 +96,8 @@ class ExecutionBackend:
         backoff: float = 0.1,
         spool_dir: Optional[str] = None,
         progress=None,  # Optional[Callable[[ProgressEvent], None]]
+        flight_dir: Optional[str] = None,
+        flight_events: int = DEFAULT_FLIGHT_CAPACITY,
     ) -> Tuple[List[JobResult], PoolStats]:
         raise NotImplementedError
 
@@ -131,12 +134,21 @@ def _execute_serially(
     timeout: Optional[float],
     spool_dir: Optional[str],
     progress,
+    flight_dir: Optional[str] = None,
+    flight_events: int = DEFAULT_FLIGHT_CAPACITY,
 ) -> List[JobResult]:
     """The shared in-process path (serial backend + every fallback rung)."""
     results = []
     for job in jobs:
         _emit_started(progress, job)
-        result = execute_job(job, machine, timeout, spool_dir=spool_dir)
+        result = execute_job(
+            job,
+            machine,
+            timeout,
+            spool_dir=spool_dir,
+            flight_dir=flight_dir,
+            flight_events=flight_events,
+        )
         _emit_result(progress, result)
         results.append(result)
     return results
@@ -156,6 +168,8 @@ class SerialBackend(ExecutionBackend):
         backoff: float = 0.1,
         spool_dir: Optional[str] = None,
         progress=None,
+        flight_dir: Optional[str] = None,
+        flight_events: int = DEFAULT_FLIGHT_CAPACITY,
     ) -> Tuple[List[JobResult], PoolStats]:
         import time
 
@@ -163,7 +177,10 @@ class SerialBackend(ExecutionBackend):
             workers=1, jobs=len(jobs), backend=self.name, fallback_serial=True
         )
         started = time.perf_counter()
-        results = _execute_serially(jobs, machine, timeout, spool_dir, progress)
+        results = _execute_serially(
+            jobs, machine, timeout, spool_dir, progress,
+            flight_dir=flight_dir, flight_events=flight_events,
+        )
         return _finish(stats, results, started)
 
 
@@ -184,6 +201,8 @@ class ProcessBackend(ExecutionBackend):
         backoff: float = 0.1,
         spool_dir: Optional[str] = None,
         progress=None,
+        flight_dir: Optional[str] = None,
+        flight_events: int = DEFAULT_FLIGHT_CAPACITY,
     ) -> Tuple[List[JobResult], PoolStats]:
         import time
 
@@ -191,7 +210,10 @@ class ProcessBackend(ExecutionBackend):
         started = time.perf_counter()
         if self.workers <= 1 or len(jobs) <= 1:
             stats.fallback_serial = self.workers <= 1
-            results = _execute_serially(jobs, machine, timeout, spool_dir, progress)
+            results = _execute_serially(
+                jobs, machine, timeout, spool_dir, progress,
+                flight_dir=flight_dir, flight_events=flight_events,
+            )
             return _finish(stats, results, started)
 
         results: Dict[int, JobResult] = {}
@@ -205,7 +227,8 @@ class ProcessBackend(ExecutionBackend):
                 # Degradation ladder, final rung: no subprocesses available.
                 stats.fallback_serial = True
                 for result in _execute_serially(
-                    pending, machine, timeout, spool_dir, progress
+                    pending, machine, timeout, spool_dir, progress,
+                    flight_dir=flight_dir, flight_events=flight_events,
                 ):
                     results[result.index] = result
                 pending = []
@@ -217,7 +240,9 @@ class ProcessBackend(ExecutionBackend):
                 futures = {}
                 for job in pending:
                     future = executor.submit(
-                        _pool_worker, (job, machine, timeout, spool_dir)
+                        _pool_worker,
+                        (job, machine, timeout, spool_dir, flight_dir,
+                         flight_events),
                     )
                     _emit_started(progress, job)
                     futures[future] = job
@@ -270,7 +295,8 @@ class ProcessBackend(ExecutionBackend):
                     _emit_quarantined(progress, job)
                     results[job.index] = run_quarantined(
                         job, machine, timeout, max_retries, backoff, stats,
-                        spool_dir=spool_dir,
+                        spool_dir=spool_dir, flight_dir=flight_dir,
+                        flight_events=flight_events,
                     )
                     _emit_result(progress, results[job.index])
                 pending = []
@@ -293,10 +319,16 @@ def _chunk_worker_init(machines_blob: bytes) -> None:
 
 
 def _chunk_worker(
-    payload: Tuple[List[Tuple[ScheduleJob, str]], Optional[float], Optional[str]]
+    payload: Tuple[
+        List[Tuple[ScheduleJob, str]],
+        Optional[float],
+        Optional[str],
+        Optional[str],
+        int,
+    ]
 ) -> List[JobResult]:
     """Run one chunk of (machine-stripped job, machine digest) entries."""
-    entries, timeout, spool_dir = payload
+    entries, timeout, spool_dir, flight_dir, flight_events = payload
     results: List[JobResult] = []
     for job, digest in entries:
         resident = _WORKER_MACHINES.get(digest)
@@ -310,7 +342,16 @@ def _chunk_worker(
                 )
             )
             continue
-        results.append(execute_job(job, resident, timeout, spool_dir=spool_dir))
+        results.append(
+            execute_job(
+                job,
+                resident,
+                timeout,
+                spool_dir=spool_dir,
+                flight_dir=flight_dir,
+                flight_events=flight_events,
+            )
+        )
     return results
 
 
@@ -364,6 +405,8 @@ class ChunkedProcessBackend(ExecutionBackend):
         backoff: float = 0.1,
         spool_dir: Optional[str] = None,
         progress=None,
+        flight_dir: Optional[str] = None,
+        flight_events: int = DEFAULT_FLIGHT_CAPACITY,
     ) -> Tuple[List[JobResult], PoolStats]:
         import time
 
@@ -371,7 +414,10 @@ class ChunkedProcessBackend(ExecutionBackend):
         started = time.perf_counter()
         if self.workers <= 1 or len(jobs) <= 1:
             stats.fallback_serial = self.workers <= 1
-            results = _execute_serially(jobs, machine, timeout, spool_dir, progress)
+            results = _execute_serially(
+                jobs, machine, timeout, spool_dir, progress,
+                flight_dir=flight_dir, flight_events=flight_events,
+            )
             return _finish(stats, results, started)
 
         table, refs = _machine_table(jobs, machine)
@@ -396,7 +442,8 @@ class ChunkedProcessBackend(ExecutionBackend):
             except (OSError, ValueError, RuntimeError):
                 stats.fallback_serial = True
                 for result in _execute_serially(
-                    pending, machine, timeout, spool_dir, progress
+                    pending, machine, timeout, spool_dir, progress,
+                    flight_dir=flight_dir, flight_events=flight_events,
                 ):
                     results[result.index] = result
                 pending = []
@@ -414,6 +461,8 @@ class ChunkedProcessBackend(ExecutionBackend):
                             [(stripped[job.index], ref_of[job.index]) for job in chunk],
                             timeout,
                             spool_dir,
+                            flight_dir,
+                            flight_events,
                         ),
                     )
                     for job in chunk:
@@ -468,7 +517,8 @@ class ChunkedProcessBackend(ExecutionBackend):
                     _emit_quarantined(progress, job)
                     results[job.index] = run_quarantined(
                         job, machine, timeout, max_retries, backoff, stats,
-                        spool_dir=spool_dir,
+                        spool_dir=spool_dir, flight_dir=flight_dir,
+                        flight_events=flight_events,
                     )
                     _emit_result(progress, results[job.index])
                 pending = []

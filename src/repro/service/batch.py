@@ -84,7 +84,7 @@ from repro.service.jobs import (
     order_results,
 )
 from repro.service.keys import cache_key
-from repro.service.pool import PoolStats
+from repro.service.pool import DEFAULT_FLIGHT_CAPACITY, PoolStats
 from repro.service.spool import (
     SpoolMergeStats,
     merge_spools,
@@ -218,9 +218,10 @@ class BatchReport:
             )
         for result in self.results:
             if not result.ok:
-                diagnostics.append(
-                    f"  {result.status.upper()} {result.name}: {result.error}"
-                )
+                line = f"  {result.status.upper()} {result.name}: {result.error}"
+                if result.flight:
+                    line += f"  [flight recorder: {len(result.flight)} events]"
+                diagnostics.append(line)
         return lines, diagnostics
 
     def summary(self) -> str:
@@ -271,6 +272,7 @@ def run_batch(
     progress=None,
     progress_log: Optional[str] = None,
     straggler_factor: float = 4.0,
+    flight_events: int = DEFAULT_FLIGHT_CAPACITY,
 ) -> BatchReport:
     """Schedule a batch of programs (DoLoop or LoopBody) as a service.
 
@@ -314,6 +316,10 @@ def run_batch(
             writes).
         straggler_factor: Flag jobs slower than this multiple of the
             rolling median job latency (must exceed 1.0).
+        flight_events: Ring capacity of the per-job flight recorder —
+            the last N scheduler events attached to crash/timeout/
+            failure records (``result.flight``) and their progress
+            events.  0 disables the recorder entirely.
     """
     from repro.machine import cydra5
 
@@ -387,6 +393,11 @@ def run_batch(
         or (profiler is not None and getattr(profiler, "enabled", True))
     )
     spool_dir = tempfile.mkdtemp(prefix="repro-spool-") if observe else None
+    # Fatal-signal spill area: a worker that dies mid-job writes its
+    # flight ring here so the quarantine path can attach it post-mortem.
+    flight_dir = (
+        tempfile.mkdtemp(prefix="repro-flight-") if flight_events > 0 else None
+    )
     try:
         computed, pool_stats = exec_backend.run(
             pending,
@@ -395,6 +406,8 @@ def run_batch(
             max_retries=max_retries,
             spool_dir=spool_dir,
             progress=tracker.emit if tracker is not None else None,
+            flight_dir=flight_dir,
+            flight_events=flight_events,
         )
         if cache is not None:
             for result in computed:
@@ -413,6 +426,8 @@ def run_batch(
     finally:
         if spool_dir is not None:
             shutil.rmtree(spool_dir, ignore_errors=True)
+        if flight_dir is not None:
+            shutil.rmtree(flight_dir, ignore_errors=True)
         if tracker is not None:
             tracker.close()
 
@@ -684,10 +699,36 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="write the merged profiler span snapshot as JSON to PATH",
     )
     parser.add_argument(
+        "--flight-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-job flight-recorder ring capacity: the last N scheduler "
+        "events attached to crash/timeout/failure records "
+        f"(default {DEFAULT_FLIGHT_CAPACITY})",
+    )
+    parser.add_argument(
+        "--no-flight",
+        action="store_true",
+        help="disable the per-job flight recorder entirely",
+    )
+    parser.add_argument(
+        "--explain-failures",
+        action="store_true",
+        help="render a flight-recorder post-mortem on stderr for every "
+        "failed/timed-out/crashed job that captured one",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="DB",
+        help="append this run's batch summary to a history database "
+        "(see `python -m repro history`)",
+    )
+    parser.add_argument(
         "--inject",
         action="append",
         metavar="INDEX:FAULT",
-        help=argparse.SUPPRESS,  # fault injection: crash | raise | hang:N
+        help=argparse.SUPPRESS,  # fault injection: crash | exit | raise | hang:N
     )
     return parser
 
@@ -789,6 +830,15 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         print("error: --straggler-factor must exceed 1.0", file=sys.stderr)
         return 2
 
+    flight_events = args.flight_events
+    if flight_events is None:
+        flight_events = DEFAULT_FLIGHT_CAPACITY
+    if args.no_flight:
+        flight_events = 0
+    if flight_events < 0:
+        print("error: --flight-events must be >= 0", file=sys.stderr)
+        return 2
+
     out_to_stdout = args.out == "-"
     # Status lines describe the run; with --out - they join the
     # diagnostics on stderr so stdout carries pure JSON.
@@ -827,6 +877,7 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
             progress=TTYProgress(total=len(programs)) if show_tty else None,
             progress_log=args.progress_log,
             straggler_factor=args.straggler_factor,
+            flight_events=flight_events,
         )
     except OSError as exc:  # e.g. unwritable --progress-log
         print(f"error: {exc}", file=sys.stderr)
@@ -835,6 +886,44 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     print("\n".join(status_lines), file=status_stream)
     for line in diagnostics:
         print(line, file=sys.stderr)
+    if args.explain_failures:
+        from repro.obs.explain import flight_postmortem
+
+        for result in report.results:
+            if not result.ok and result.flight:
+                print(
+                    flight_postmortem(
+                        result.name,
+                        result.flight,
+                        status=result.status,
+                        error=result.error,
+                    ),
+                    file=sys.stderr,
+                )
+    if args.history:
+        import sqlite3
+
+        from repro.obs.history import (
+            HistoryError,
+            HistoryStore,
+            batch_report_payload,
+        )
+
+        try:
+            store = HistoryStore(args.history)
+            try:
+                run_id = store.record_payload(
+                    "batch-cli", batch_report_payload(report)
+                )
+            finally:
+                store.close()
+        except (OSError, sqlite3.Error, HistoryError) as exc:
+            print(
+                f"error: cannot record history to {args.history}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"history: run #{run_id} -> {args.history}", file=status_stream)
     if args.trace:
         try:
             write_trace_records(report.trace_records or [], args.trace)

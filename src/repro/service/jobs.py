@@ -45,10 +45,12 @@ class ScheduleJob:
     covers the machine, so distinct machines get distinct entries.
 
     ``fault`` is the service's built-in fault injection used by tests,
-    CI and manual resilience drills: ``"crash"`` makes the worker die
-    with ``os._exit``, ``"hang:N"`` makes it sleep N seconds (tripping
-    the per-job timeout), ``"raise"`` makes it raise.  Production
-    callers leave it None.
+    CI and manual resilience drills: ``"crash"`` kills the worker with
+    a synthetic ``SIGSEGV`` (exercising the flight recorder's
+    fatal-signal spill), ``"exit"`` dies with ``os._exit`` and
+    bypasses every handler, ``"hang:N"`` makes it sleep N seconds
+    (tripping the per-job timeout), ``"raise"`` makes it raise.
+    Production callers leave it None.
     """
 
     index: int
@@ -72,6 +74,10 @@ class JobResult:
     error: Optional[str] = None
     seconds: float = 0.0  # worker-side wall time (0.0 for cached)
     retries: int = 0  # crash-recovery resubmissions this job survived
+    #: Flight-recorder dump (oldest-first event dicts) attached to
+    #: failure records only: the last scheduler decisions in flight
+    #: when the job timed out, raised, or killed its worker.
+    flight: Optional[List[dict]] = None
 
     def __post_init__(self) -> None:
         if self.status not in JOB_STATUSES:

@@ -34,12 +34,14 @@ restores submission order.
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import signal
 import threading
 import time
 from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.trace import DEFAULT_FLIGHT_CAPACITY
 from repro.service.jobs import (
     JOB_CRASHED,
     JOB_FAILED,
@@ -53,6 +55,10 @@ from repro.service.jobs import (
 #: pool-side backstop declares a worker unresponsive.
 BACKSTOP_GRACE = 5.0
 
+#: Fatal signals the flight recorder spills on before the worker dies.
+#: SIGKILL/OOM-kill cannot be caught; those crashes leave no dump.
+_FATAL_SIGNALS = ("SIGSEGV", "SIGBUS", "SIGABRT", "SIGILL", "SIGFPE")
+
 
 class _JobTimeoutError(Exception):
     """Raised inside a worker when the SIGALRM budget expires."""
@@ -65,7 +71,14 @@ def _raise_timeout(signum, frame):  # pragma: no cover - trivial
 def _inject_fault(fault: str) -> None:
     """Built-in fault injection (tests / resilience drills)."""
     if fault == "crash":
-        os._exit(13)
+        # Die by signal rather than os._exit so the flight recorder's
+        # fatal-signal handler (when installed) can spill the ring
+        # first; the parent sees a dead worker either way.
+        if hasattr(signal, "SIGSEGV"):
+            os.kill(os.getpid(), signal.SIGSEGV)
+        os._exit(13)  # non-POSIX fallback (and: signal somehow blocked)
+    if fault == "exit":
+        os._exit(13)  # the uncatchable drill: no handler, no dump
     if fault == "raise":
         raise RuntimeError("injected fault: raise")
     if fault.startswith("hang:"):
@@ -74,11 +87,79 @@ def _inject_fault(fault: str) -> None:
     raise ValueError(f"unknown fault {fault!r}")
 
 
+# ----------------------------------------------------------------------
+# Flight-recorder spill files (crash forensics across process death)
+# ----------------------------------------------------------------------
+def flight_path(flight_dir: str, index: int) -> str:
+    """Spill file for one job (mirrors the spool naming scheme)."""
+    return os.path.join(flight_dir, f"flight-{index:06d}.json")
+
+
+def _write_flight(flight_dir: str, job: ScheduleJob, recorder) -> None:
+    """Spill the ring to disk (atomic rename; called from signal context)."""
+    path = flight_path(flight_dir, job.index)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(
+                {"job": job.index, "name": job.name, "events": recorder.dump()},
+                handle,
+            )
+        os.replace(tmp, path)
+    except OSError:  # a failed spill must never mask the real fault
+        pass
+
+
+def load_flight(flight_dir: Optional[str], index: int) -> Optional[List[dict]]:
+    """Read back a worker's spilled ring; None when absent or corrupt."""
+    if flight_dir is None:
+        return None
+    try:
+        with open(flight_path(flight_dir, index)) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    events = payload.get("events")
+    return events if isinstance(events, list) and events else None
+
+
+def attach_flight(result: JobResult, flight_dir: Optional[str]) -> JobResult:
+    """Attach a spilled dump to a failure record that lacks one."""
+    if result.ok or result.flight is not None:
+        return result
+    dump = load_flight(flight_dir, result.index)
+    if dump is None:
+        return result
+    return dataclasses.replace(result, flight=dump)
+
+
+class _FlightTee:
+    """Forward events to a primary tracer AND the flight ring.
+
+    Used when a job is both spooling a full trace and flight-recording:
+    the :class:`~repro.obs.trace.CollectingTracer` stamps seq/ts as
+    before (so spool output is unchanged) and the ring keeps a
+    reference to the last N of the same events.
+    """
+
+    enabled = True
+
+    def __init__(self, primary, flight):
+        self.primary = primary
+        self.flight = flight
+
+    def emit(self, event) -> None:
+        self.primary.emit(event)
+        self.flight.append(event)
+
+
 def execute_job(
     job: ScheduleJob,
     machine,
     timeout: Optional[float] = None,
     spool_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+    flight_events: int = DEFAULT_FLIGHT_CAPACITY,
 ) -> JobResult:
     """Run one job to a structured result; never raises.
 
@@ -87,6 +168,15 @@ def execute_job(
     registry and profiler and writes their contents to a per-job spool
     file (:mod:`repro.service.spool`) for the parent to merge — that is
     how ``--trace``/``--explain`` cross process boundaries.
+
+    ``flight_events > 0`` (the default) runs the job under a bounded
+    :class:`~repro.obs.trace.FlightRecorder`; a timeout or raise
+    attaches the ring dump to the returned failure record directly,
+    and with a ``flight_dir`` a fatal signal (segfault/abort) spills
+    the ring to disk before the process dies, for the parent to
+    collect.  A worker hung in a C extension (backstop timeout) and a
+    ``SIGKILL``/OOM kill leave no dump — those are the documented
+    limits of in-process forensics.
 
     The wall-clock budget uses ``SIGALRM`` and therefore only applies on
     POSIX main threads (worker processes and the serial path both
@@ -107,12 +197,42 @@ def execute_job(
         registry = MetricsRegistry()
         profiler = Profiler()
 
+    recorder = None
+    sched_tracer = tracer
+    if flight_events and flight_events > 0:
+        from repro.obs.trace import FlightRecorder, JobStart
+
+        recorder = FlightRecorder(flight_events)
+        recorder.emit(JobStart(job=job.index, loop=job.name))
+        sched_tracer = (
+            _FlightTee(tracer, recorder) if tracer is not None else recorder
+        )
+
+    on_main_thread = threading.current_thread() is threading.main_thread()
+    installed_fatal: List[Tuple[int, object]] = []
+    if recorder is not None and flight_dir is not None and on_main_thread:
+
+        def _spill(signum, frame):  # pragma: no cover - dies immediately
+            try:
+                _write_flight(flight_dir, job, recorder)
+            finally:
+                os._exit(128 + signum)
+
+        for name in _FATAL_SIGNALS:
+            signum = getattr(signal, name, None)
+            if signum is None:
+                continue
+            try:
+                installed_fatal.append((signum, signal.signal(signum, _spill)))
+            except (ValueError, OSError):  # non-main thread / exotic OS
+                pass
+
     started = time.perf_counter()
     use_alarm = (
         timeout is not None
         and timeout > 0
         and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
+        and on_main_thread
     )
     previous_handler = None
     metrics = None
@@ -127,7 +247,7 @@ def execute_job(
             machine,
             algorithm=job.algorithm,
             options=job.options,
-            tracer=tracer,
+            tracer=sched_tracer,
             metrics=registry,
             profiler=profiler,
         )
@@ -140,6 +260,11 @@ def execute_job(
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous_handler)
+        for signum, previous in installed_fatal:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
     if spool_dir is not None:
         # Written after the alarm is disarmed so a budget expiry cannot
         # truncate the spool mid-line; partial traces (timeout/failure)
@@ -161,15 +286,29 @@ def execute_job(
         metrics=metrics,
         error=error,
         seconds=time.perf_counter() - started,
+        flight=(
+            recorder.dump()
+            if recorder is not None and status != JOB_OK
+            else None
+        ),
     )
 
 
 def _pool_worker(
-    payload: Tuple[ScheduleJob, object, Optional[float], Optional[str]]
+    payload: Tuple[
+        ScheduleJob, object, Optional[float], Optional[str], Optional[str], int
+    ]
 ) -> JobResult:
     """Top-level per-job worker entry point (must be picklable by name)."""
-    job, machine, timeout, spool_dir = payload
-    return execute_job(job, machine, timeout, spool_dir=spool_dir)
+    job, machine, timeout, spool_dir, flight_dir, flight_events = payload
+    return execute_job(
+        job,
+        machine,
+        timeout,
+        spool_dir=spool_dir,
+        flight_dir=flight_dir,
+        flight_events=flight_events,
+    )
 
 
 @dataclasses.dataclass
@@ -220,12 +359,17 @@ def run_quarantined(
     backoff: float,
     stats: PoolStats,
     spool_dir: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+    flight_events: int = DEFAULT_FLIGHT_CAPACITY,
 ) -> JobResult:
     """Run one job in an isolated single-worker pool, retrying crashes.
 
     Isolation turns "some worker died" into "THIS job kills workers":
     after ``max_retries`` resubmissions (with doubling backoff) the job
     is reported ``crashed`` without having disturbed any other job.
+    A crashed verdict collects the worker's spilled flight-recorder
+    ring (when one exists) so the failure record still names the ops
+    in flight when the worker died.
     """
     import concurrent.futures
 
@@ -236,14 +380,22 @@ def run_quarantined(
         except (OSError, ValueError, RuntimeError):
             stats.fallback_serial = True
             return dataclasses.replace(
-                execute_job(job, machine, timeout, spool_dir=spool_dir),
+                execute_job(
+                    job,
+                    machine,
+                    timeout,
+                    spool_dir=spool_dir,
+                    flight_dir=flight_dir,
+                    flight_events=flight_events,
+                ),
                 retries=attempt,
             )
         hung = False
         broken = False
         try:
             future = executor.submit(
-                _pool_worker, (job, machine, timeout, spool_dir)
+                _pool_worker,
+                (job, machine, timeout, spool_dir, flight_dir, flight_events),
             )
             backstop = (
                 timeout + BACKSTOP_GRACE
@@ -269,12 +421,15 @@ def run_quarantined(
             executor.shutdown(wait=not (broken or hung), cancel_futures=True)
         attempt += 1
         if attempt > max_retries:
-            return JobResult(
-                index=job.index,
-                name=job.name,
-                status=JOB_CRASHED,
-                error=f"worker died; gave up after {max_retries} resubmission(s)",
-                retries=attempt - 1,
+            return attach_flight(
+                JobResult(
+                    index=job.index,
+                    name=job.name,
+                    status=JOB_CRASHED,
+                    error=f"worker died; gave up after {max_retries} resubmission(s)",
+                    retries=attempt - 1,
+                ),
+                flight_dir,
             )
         stats.retries += 1
         if backoff > 0:
@@ -290,6 +445,8 @@ def run_jobs(
     backoff: float = 0.1,
     spool_dir: Optional[str] = None,
     progress=None,
+    flight_dir: Optional[str] = None,
+    flight_events: int = DEFAULT_FLIGHT_CAPACITY,
 ) -> Tuple[List[JobResult], PoolStats]:
     """Historical entry point: auto-select a backend and execute.
 
@@ -309,4 +466,6 @@ def run_jobs(
         backoff=backoff,
         spool_dir=spool_dir,
         progress=progress,
+        flight_dir=flight_dir,
+        flight_events=flight_events,
     )

@@ -93,3 +93,44 @@ def test_render_lifetime_chart_matches_maxlive(machine):
     # Every II row of the live vector is rendered.
     for row in range(result.schedule.ii):
         assert f"row {row:>3}:" in art
+
+
+# ----------------------------------------------------------------------
+# Flight-recorder post-mortems (the failure-side sibling of explain)
+# ----------------------------------------------------------------------
+def test_flight_postmortem_renders_tail_and_ops_in_flight(machine):
+    from repro.obs import FlightRecorder, flight_postmortem
+
+    ring = FlightRecorder(capacity=64)
+    modulo_schedule(build_figure1_loop(), machine, tracer=ring)
+    text = flight_postmortem(
+        "figure1", ring.dump(), status="crashed", error="worker died"
+    )
+    assert "=== post-mortem: figure1 ===" in text
+    assert "status=crashed" in text and "worker died" in text
+    assert "[   0] attempt_start" in text
+    assert "place" in text
+
+
+def test_flight_postmortem_counts_dropped_events(machine):
+    from repro.obs import FlightRecorder, flight_postmortem
+
+    ring = FlightRecorder(capacity=4)
+    modulo_schedule(build_figure1_loop(), machine, tracer=ring)
+    assert ring.dropped > 0
+    text = flight_postmortem("figure1", ring.dump())
+    assert f"({ring.dropped} earlier dropped from the ring)" in text
+    assert f"last {len(ring.dump())} event(s)" in text
+
+
+def test_flight_postmortem_replays_surviving_placements():
+    from repro.obs import flight_postmortem
+
+    records = [
+        {"kind": "attempt_start", "seq": 0, "ii": 4},
+        {"kind": "place", "seq": 1, "oid": 3, "cycle": 0},
+        {"kind": "place", "seq": 2, "oid": 5, "cycle": 2},
+        {"kind": "eject", "seq": 3, "oid": 3, "cycle": 0},
+    ]
+    text = flight_postmortem("mid-flight", records)
+    assert "ops in flight at death (1): 5" in text

@@ -4,13 +4,18 @@ import pytest
 
 from repro.obs.bench import BENCH_SCHEMA, metric, wrap_payload, write_json
 from repro.obs.regress import (
+    attribute_sets,
+    attribute_spans,
     collect_bench_files,
     compare_main,
     compare_metric,
     compare_payload_pair,
     compare_sets,
+    diff_profiles,
     gating_regressions,
+    provenance_mismatches,
     render_table,
+    set_provenance_warnings,
     summarize,
 )
 
@@ -165,3 +170,182 @@ def test_compare_main_exit_codes(tmp_path, capsys):
 
 def test_compare_main_bad_input_is_a_usage_error(tmp_path):
     assert compare_main(str(tmp_path / "nope"), str(tmp_path / "nope")) == 2
+
+
+# ----------------------------------------------------------------------
+# Error paths: schema versions, missing metrics, empty directories
+# ----------------------------------------------------------------------
+def test_collect_bench_files_rejects_mismatched_schema_version(tmp_path):
+    import json
+
+    payload = _payload("slack", m=metric(1, "x"))
+    payload["schema_version"] = 999
+    run = tmp_path / "run"
+    run.mkdir()
+    (run / "BENCH_slack.json").write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="schema version"):
+        collect_bench_files(str(run))
+
+
+def test_collect_bench_files_rejects_wrong_schema(tmp_path):
+    import json
+
+    run = tmp_path / "run"
+    run.mkdir()
+    (run / "BENCH_x.json").write_text(json.dumps({"schema": "other.thing"}))
+    with pytest.raises(ValueError, match="expected schema"):
+        collect_bench_files(str(run))
+
+
+def test_collect_bench_files_empty_directory_raises(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(FileNotFoundError, match="no BENCH_"):
+        collect_bench_files(str(empty))
+
+
+def test_metric_in_old_missing_in_new_is_removed_not_an_error():
+    old = {"s": _payload("s", gone=metric(1, "x"), kept=metric(2, "x"))}
+    new = {"s": _payload("s", kept=metric(2, "x"))}
+    statuses = {d.name: d.status for d in compare_sets(old, new)}
+    assert statuses["gone"] == "removed" and statuses["kept"] == "ok"
+    # A removed metric never gates: CI should flag it, not hard-fail.
+    assert gating_regressions(compare_sets(old, new)) == []
+
+
+def test_compare_main_mixed_schema_versions_exit_2(tmp_path, capsys):
+    import json
+
+    _write_set(tmp_path / "old", "slack", m=metric(1, "x"))
+    new_dir = tmp_path / "new"
+    new_dir.mkdir()
+    payload = _payload("slack", m=metric(1, "x"))
+    payload["schema_version"] = 999
+    (new_dir / "BENCH_slack.json").write_text(json.dumps(payload))
+    assert compare_main(str(tmp_path / "old"), str(new_dir)) == 2
+    assert "schema version 999" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Provenance warnings (satellite: cpu_count joins the envelope)
+# ----------------------------------------------------------------------
+def test_bench_envelope_carries_cpu_count():
+    import os
+
+    payload = _payload("s", m=metric(1, "x"))
+    assert payload["cpu_count"] == os.cpu_count()
+
+
+def test_provenance_mismatch_warns_per_field():
+    old = _payload("s", m=metric(1, "x"))
+    new = dict(_payload("s", m=metric(1, "x")), cpu_count=1, python="2.7.0")
+    old = dict(old, cpu_count=64, python="3.11.0")
+    warnings = provenance_mismatches(old, new)
+    assert len(warnings) == 2
+    assert any("cpu_count" in w for w in warnings)
+    assert any("python" in w for w in warnings)
+
+
+def test_provenance_missing_field_does_not_warn():
+    # Baselines recorded before cpu_count existed must not churn.
+    old = _payload("s", m=metric(1, "x"))
+    old.pop("cpu_count")
+    new = dict(_payload("s", m=metric(1, "x")), cpu_count=1)
+    assert not any("cpu_count" in w for w in provenance_mismatches(old, new))
+
+
+def test_set_provenance_warnings_prefixes_scenarios():
+    old = {"s1": dict(_payload("s1"), cpu_count=64)}
+    new = {"s1": dict(_payload("s1"), cpu_count=1)}
+    warnings = set_provenance_warnings(old, new)
+    assert len(warnings) == 1 and warnings[0].startswith("s1: ")
+
+
+# ----------------------------------------------------------------------
+# Span-level attribution
+# ----------------------------------------------------------------------
+def _profile(**spans):
+    return {
+        "spans": {
+            path: {"calls": 2, "cum_seconds": self_s, "self_seconds": self_s}
+            for path, self_s in spans.items()
+        }
+    }
+
+
+def test_diff_profiles_sorts_guiltiest_first():
+    deltas = diff_profiles(
+        _profile(driver=0.2, slack=0.5, mindist=0.1),
+        _profile(driver=1.0, slack=0.4, mindist=0.3),
+    )
+    assert [d.path for d in deltas] == ["driver", "mindist", "slack"]
+    assert deltas[0].delta_self == pytest.approx(0.8)
+    assert deltas[-1].delta_self == pytest.approx(-0.1)
+
+
+def test_attribute_spans_names_shares_and_growth():
+    old = dict(_payload("s"), profile=_profile(driver=0.2, slack=0.2))
+    new = dict(_payload("s"), profile=_profile(driver=1.0, slack=0.4))
+    lines = attribute_spans(old, new)
+    assert lines[0].startswith("span attribution")
+    assert "driver" in lines[1] and "+800.00ms self" in lines[1]
+    assert "80% of the slowdown" in lines[1] and "+400% vs old" in lines[1]
+    assert "calls 2 -> 2" in lines[1]
+
+
+def test_attribute_spans_without_profiles_is_silent():
+    assert attribute_spans(_payload("s"), _payload("s")) == []
+    old = dict(_payload("s"), profile=_profile(driver=0.5))
+    new = dict(_payload("s"), profile=_profile(driver=0.5))
+    assert attribute_spans(old, new) == []  # nothing slowed down
+
+
+def test_attribute_sets_only_covers_regressed_time_scenarios():
+    old = {
+        "slow": dict(
+            _payload("slow", wall=metric(1.0, "s", kind="time")),
+            profile=_profile(driver=0.2),
+        ),
+        "fine": dict(
+            _payload("fine", wall=metric(1.0, "s", kind="time")),
+            profile=_profile(driver=0.2),
+        ),
+    }
+    new = {
+        "slow": dict(
+            _payload("slow", wall=metric(2.0, "s", kind="time")),
+            profile=_profile(driver=1.2),
+        ),
+        "fine": dict(
+            _payload("fine", wall=metric(1.0, "s", kind="time")),
+            profile=_profile(driver=0.2),
+        ),
+    }
+    deltas = compare_sets(old, new)
+    lines = attribute_sets(old, new, deltas)
+    assert lines and lines[0] == "slow:"
+    assert any("driver" in line for line in lines)
+    assert not any("fine" in line for line in lines)
+
+
+def test_compare_main_prints_provenance_and_attribution(tmp_path, capsys):
+    import json
+
+    old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+    old_dir.mkdir(), new_dir.mkdir()
+    old = dict(
+        _payload("slack", wall=metric(1.0, "s", kind="time")),
+        profile=_profile(driver=0.2),
+        cpu_count=64,
+    )
+    new = dict(
+        _payload("slack", wall=metric(2.0, "s", kind="time")),
+        profile=_profile(driver=1.2),
+        cpu_count=1,
+    )
+    (old_dir / "BENCH_slack.json").write_text(json.dumps(old))
+    (new_dir / "BENCH_slack.json").write_text(json.dumps(new))
+    assert compare_main(str(old_dir), str(new_dir)) == 0
+    out = capsys.readouterr().out
+    assert "provenance mismatch: cpu_count differs" in out
+    assert "span attribution" in out and "driver" in out

@@ -12,6 +12,7 @@ from repro.obs.report import (
     histogram_svg,
     report_main,
     scatter_svg,
+    sparkline_svg,
 )
 
 LOOP_RECORDS = [
@@ -188,6 +189,70 @@ def test_report_cli_end_to_end(tmp_path, capsys):
 def test_report_cli_requires_an_input(capsys):
     assert report_main(["--out", "x.html"]) == 2
     assert "nothing to report" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# History trend sections
+# ----------------------------------------------------------------------
+def _history_db(tmp_path, walls):
+    from repro.obs.bench import metric as _metric
+    from repro.obs.history import HistoryStore
+
+    db = str(tmp_path / "h.sqlite")
+    store = HistoryStore(db)
+    for wall in walls:
+        store.record_payload(
+            "slack",
+            wrap_payload(
+                BENCH_SCHEMA,
+                {
+                    "scenario": "slack",
+                    "metrics": {"wall_s": _metric(wall, "s", kind="time")},
+                },
+            ),
+        )
+    store.close()
+    return db
+
+
+def test_sparkline_svg_marks_anomalies_and_latest():
+    svg = sparkline_svg([1.0, 1.0, None, 1.0, 2.0], [False] * 4 + [True])
+    assert '<polyline class="line"' in svg
+    assert svg.count('class="anom"') == 1
+    assert 'class="last"' in svg
+    assert "NaN" not in svg
+    assert sparkline_svg([None, None], [False, False]) == (
+        '<span class="empty">no data</span>'
+    )
+
+
+def test_report_renders_trend_section_deterministically(tmp_path):
+    from repro.obs.history import HistoryStore, metric_trends
+
+    db = _history_db(tmp_path, [1.0, 1.01, 0.99, 1.0, 1.02, 1.0, 1.01, 1.9])
+    store = HistoryStore(db)
+    trends = {"slack": metric_trends(store.runs("slack"))}
+    store.close()
+    document = build_report(trends=trends)
+    assert document == build_report(trends=trends)
+    assert "History: slack" in document
+    assert "history (1 scenarios)" in document
+    assert '<polyline class="line"' in document
+    assert 'class="anom"' in document  # the doctored jump is flagged
+
+
+def test_report_cli_history_end_to_end(tmp_path, capsys):
+    db = _history_db(tmp_path, [1.0, 1.0, 1.0])
+    out = tmp_path / "report.html"
+    assert report_main(["--history", db, "--out", str(out)]) == 0
+    document = out.read_text()
+    assert "History: slack" in document and "wall_s" in document
+    capsys.readouterr()
+    # --history alone satisfies the input requirement; bad DBs exit 2.
+    bad = tmp_path / "bad.sqlite"
+    bad.write_text("not a database")
+    assert report_main(["--history", str(bad), "--out", str(out)]) == 2
+    assert "error:" in capsys.readouterr().err
 
 
 def test_report_cli_rejects_bad_input(tmp_path, capsys):

@@ -18,8 +18,10 @@ from repro.obs import (
     AttemptStart,
     CollectingTracer,
     Eject,
+    FlightRecorder,
     ForcePlace,
     IIEscalate,
+    JobStart,
     NullTracer,
     Place,
     ScheduleFound,
@@ -148,3 +150,71 @@ def test_null_tracer_records_nothing(machine):
     assert tracer.enabled is False
     result = modulo_schedule(build_figure1_loop(), machine, tracer=tracer)
     assert result.success  # and nothing blew up trying to emit
+
+
+# ----------------------------------------------------------------------
+# FlightRecorder: the bounded ring behind crash post-mortems
+# ----------------------------------------------------------------------
+def test_flight_recorder_rejects_bad_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        FlightRecorder(capacity=0)
+
+
+def test_flight_recorder_keeps_last_n_oldest_first():
+    ring = FlightRecorder(capacity=3)
+    for oid in range(7):
+        ring.emit(Place(oid=oid, cycle=oid))
+    assert ring.total == 7
+    assert ring.dropped == 4
+    assert [event.oid for event in ring.events()] == [4, 5, 6]
+    # seq keeps counting across the wrap, so dumps name the drop count.
+    assert [event.seq for event in ring.events()] == [4, 5, 6]
+
+
+def test_flight_recorder_below_capacity_keeps_everything():
+    ring = FlightRecorder(capacity=8)
+    ring.emit(Place(oid=1, cycle=0))
+    ring.emit(Eject(oid=1, cycle=0))
+    assert ring.dropped == 0
+    assert [type(event) for event in ring.events()] == [Place, Eject]
+
+
+def test_flight_recorder_append_does_not_restamp():
+    # append() shadows another tracer that already stamped seq/ts; the
+    # ring must keep those stamps untouched (tee mode).
+    ring = FlightRecorder(capacity=4)
+    event = Place(oid=9, cycle=3)
+    event.seq = 42
+    ring.append(event)
+    assert ring.events()[0].seq == 42
+
+
+def test_flight_recorder_dump_is_json_safe():
+    import json
+
+    ring = FlightRecorder(capacity=4)
+    ring.emit(JobStart(job=7, loop="ll3"))
+    ring.emit(Place(oid=1, cycle=2))
+    dump = ring.dump()
+    clones = json.loads(json.dumps(dump))
+    assert clones == dump
+    assert clones[0]["kind"] == "job_start" and clones[0]["loop"] == "ll3"
+
+
+def test_flight_recorder_shadows_a_real_run(machine):
+    # Scheduling under the ring alone: same event stream as a full
+    # tracer, truncated to the last `capacity` events.
+    full = CollectingTracer()
+    modulo_schedule(build_figure1_loop(), machine, tracer=full)
+    ring = FlightRecorder(capacity=16)
+    modulo_schedule(build_figure1_loop(), machine, tracer=ring)
+    assert ring.total == len(full.events)
+    tail = [type(event) for event in full.events[-16:]]
+    assert [type(event) for event in ring.events()] == tail
+
+
+def test_job_start_event_roundtrips():
+    event = JobStart(job=3, loop="inner")
+    clone = event_from_dict(event.to_dict())
+    assert isinstance(clone, JobStart)
+    assert clone.job == 3 and clone.loop == "inner"

@@ -203,3 +203,126 @@ def test_cli_default_cache_dir_not_created_with_no_cache(tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)
     assert batch_main(["--corpus", "2", "--no-cache"]) == 0
     assert not os.path.exists(".repro-cache")
+
+
+# ----------------------------------------------------------------------
+# Flight recorder: failure records carry their post-mortem
+# ----------------------------------------------------------------------
+def test_failed_job_flight_flows_through_run_batch():
+    report = run_batch(paper_corpus(3), MACHINE, faults={1: "raise"})
+    failed = report.results[1]
+    assert failed.status == "failed"
+    assert failed.flight and failed.flight[0]["kind"] == "job_start"
+    assert all(r.flight is None for r in report.results if r.ok)
+    assert "[flight recorder:" in report.summary()
+
+
+def test_flight_events_zero_disables_recording():
+    report = run_batch(
+        paper_corpus(2), MACHINE, faults={0: "raise"}, flight_events=0
+    )
+    assert report.results[0].status == "failed"
+    assert report.results[0].flight is None
+    assert "[flight recorder:" not in report.summary()
+
+
+def test_progress_events_carry_the_flight_dump():
+    from repro.obs import CollectingProgress
+
+    sink = CollectingProgress()
+    run_batch(paper_corpus(2), MACHINE, faults={0: "raise"}, progress=sink)
+    failed = [e for e in sink.events if e.kind == "failed"]
+    assert failed and failed[0].flight
+    assert failed[0].flight[0]["kind"] == "job_start"
+    # ...and the dump survives the JSONL round trip.
+    from repro.obs.progress import event_from_dict
+
+    clone = event_from_dict(failed[0].to_dict())
+    assert clone.flight == failed[0].flight
+
+
+def test_cli_explain_failures_renders_postmortem(capsys):
+    code = batch_main(
+        [
+            "--corpus", "3",
+            "--no-cache",
+            "--inject", "1:raise",
+            "--no-progress",
+            "--explain-failures",
+        ]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "flight recorder:" in err
+    assert "=== post-mortem:" in err and "job_start" in err
+
+
+def test_cli_no_flight_suppresses_dumps(capsys):
+    code = batch_main(
+        [
+            "--corpus", "2",
+            "--no-cache",
+            "--inject", "0:raise",
+            "--no-progress",
+            "--no-flight",
+            "--explain-failures",
+        ]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "flight recorder" not in err and "post-mortem" not in err
+
+
+def test_cli_negative_flight_events_exits_2(capsys):
+    assert batch_main(["--corpus", "2", "--flight-events", "-1"]) == 2
+    assert "--flight-events" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# History recording (--history) and progress gating
+# ----------------------------------------------------------------------
+def test_cli_history_records_batch_summary(tmp_path, capsys):
+    from repro.obs.history import HistoryStore
+
+    db = str(tmp_path / "h.sqlite")
+    assert batch_main(
+        ["--corpus", "2", "--no-cache", "--no-progress", "--history", db]
+    ) == 0
+    assert f"history: run #1 -> {db}" in capsys.readouterr().out
+    store = HistoryStore(db)
+    runs = store.runs("batch-cli")
+    assert len(runs) == 1
+    metrics = runs[0].payload["metrics"]
+    assert metrics["jobs"]["value"] == 2.0
+    assert metrics["jobs_ok"]["value"] == 2.0
+    assert "wall_s" in metrics
+    store.close()
+
+
+def test_cli_history_unwritable_exits_2(tmp_path, capsys):
+    db = str(tmp_path / "no" / "such" / "dir" / "h.sqlite")
+    assert batch_main(
+        ["--corpus", "2", "--no-cache", "--no-progress", "--history", db]
+    ) == 2
+    assert "history" in capsys.readouterr().err
+
+
+def test_cli_progress_hidden_when_stderr_not_a_tty(capsys):
+    # capsys replaces stderr with a pipe, so the default (no flag) must
+    # not draw the \r-overwrite status line.
+    assert batch_main(["--corpus", "2", "--no-cache"]) == 0
+    assert "\r" not in capsys.readouterr().err
+
+
+def test_cli_progress_flag_forces_the_status_line(capsys):
+    assert batch_main(["--corpus", "2", "--no-cache", "--progress"]) == 0
+    err = capsys.readouterr().err
+    assert "\r" in err and "batch 2/2" in err
+
+
+def test_cli_no_progress_overrides_a_tty(capsys, monkeypatch):
+    import sys as _sys
+
+    monkeypatch.setattr(_sys.stderr, "isatty", lambda: True, raising=False)
+    assert batch_main(["--corpus", "2", "--no-cache", "--no-progress"]) == 0
+    assert "\r" not in capsys.readouterr().err

@@ -98,3 +98,92 @@ def test_in_process_timeout_via_sigalrm():
     result = execute_job(jobs[0], MACHINE, timeout=0.2)
     assert result.status == JOB_TIMEOUT
     assert result.seconds < 5.0
+
+
+# ----------------------------------------------------------------------
+# Flight recorder: failures carry their last scheduler decisions
+# ----------------------------------------------------------------------
+def test_failed_job_carries_flight_dump():
+    jobs = make_jobs(_corpus(1), faults={0: "raise"})
+    result = execute_job(jobs[0], MACHINE)
+    assert result.status == JOB_FAILED
+    assert result.flight, "a failed job must carry its ring"
+    assert result.flight[0]["kind"] == "job_start"
+    assert result.flight[0]["loop"] == result.name
+
+
+def test_ok_job_carries_no_flight_dump():
+    jobs = make_jobs(_corpus(1))
+    result = execute_job(jobs[0], MACHINE)
+    assert result.status == JOB_OK and result.flight is None
+
+
+def test_timeout_carries_flight_dump_of_real_decisions():
+    pytest.importorskip("signal")
+    jobs = make_jobs(_corpus(1), faults={0: "hang:30"})
+    result = execute_job(jobs[0], MACHINE, timeout=0.2)
+    assert result.status == JOB_TIMEOUT
+    assert result.flight and result.flight[0]["kind"] == "job_start"
+
+
+def test_flight_events_zero_disables_the_ring():
+    jobs = make_jobs(_corpus(1), faults={0: "raise"})
+    result = execute_job(jobs[0], MACHINE, flight_events=0)
+    assert result.status == JOB_FAILED and result.flight is None
+
+
+def test_flight_ring_is_bounded():
+    jobs = make_jobs(_corpus(1), faults={0: "raise"})
+    result = execute_job(jobs[0], MACHINE, flight_events=4)
+    assert result.flight is not None and len(result.flight) <= 4
+
+
+def test_crashed_worker_spills_and_parent_attaches(tmp_path):
+    # The synthetic SIGSEGV lets the worker's signal handler spill the
+    # ring to flight_dir before dying; quarantine reads it back.
+    jobs = make_jobs(_corpus(4), faults={2: "crash"})
+    results, stats = run_jobs(
+        jobs,
+        MACHINE,
+        workers=2,
+        timeout=20.0,
+        max_retries=1,
+        backoff=0.01,
+        flight_dir=str(tmp_path),
+    )
+    assert results[2].status == JOB_CRASHED
+    assert results[2].flight, "crash dump must survive the worker's death"
+    kinds = [record["kind"] for record in results[2].flight]
+    assert "job_start" in kinds
+    assert all(r.flight is None for r in results if r.index != 2)
+
+
+def test_crashed_job_postmortem_renders_via_explain(tmp_path):
+    from repro.obs import flight_postmortem
+
+    jobs = make_jobs(_corpus(3), faults={1: "crash"})
+    results, _ = run_jobs(
+        jobs,
+        MACHINE,
+        workers=2,
+        timeout=20.0,
+        max_retries=1,
+        backoff=0.01,
+        flight_dir=str(tmp_path),
+    )
+    crashed = results[1]
+    assert crashed.status == JOB_CRASHED
+    text = flight_postmortem(
+        crashed.name, crashed.flight, status=crashed.status, error=crashed.error
+    )
+    assert f"=== post-mortem: {crashed.name} ===" in text
+    assert "job_start" in text
+    assert "worker died" in text
+
+
+def test_flight_postmortem_reports_empty_ring():
+    from repro.obs import flight_postmortem
+
+    text = flight_postmortem("lonely", None, status=JOB_CRASHED)
+    assert "post-mortem: lonely" in text
+    assert "flight recorder: empty" in text
