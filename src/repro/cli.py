@@ -8,6 +8,8 @@
     python -m repro batch --corpus 60 --jobs 4         # scheduling service
     python -m repro batch --corpus 60 --jobs 4 --trace t.jsonl --cache-db r.sqlite
     python -m repro batch --gc --max-cache-bytes 500M  # cache eviction
+    python -m repro serve --port 8537 --cache-db shared.sqlite  # daemon
+    python -m repro batch --corpus 60 --cache-url http://localhost:8537
     python -m repro report --metrics m.json --out report.html  # HTML report
     python -m repro history record --db h.sqlite bench-out/    # bench history
     python -m repro history trend --db h.sqlite                # MAD anomaly scan
@@ -39,6 +41,14 @@ cache eviction (``--gc --max-cache-bytes/--max-cache-age``),
 heterogeneous machine sweeps (``--sweep-load-latency 2,13,27``), and a
 merged cross-process scheduler trace (``--trace``) that is identical at
 any ``--jobs`` level.
+
+The ``serve`` subcommand boots a long-lived scheduling daemon
+(``repro.server``): ``POST /v1/schedule`` / ``POST /v1/batch`` with
+canonical JSON responses, a shared result cache over HTTP
+(``GET/PUT /v1/cache/<key>``, ETag conditional gets, optional bearer
+auth), and ``/healthz`` + ``/metricz`` probes.  ``batch --cache-url``
+points any batch run at that shared warm cache, with graceful
+degradation to a local directory cache when the server is down.
 
 The ``history`` subcommand keeps an append-only sqlite store of bench
 envelopes and batch summaries: ``record`` ingests BENCH_*.json files,
@@ -161,6 +171,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.service.batch import batch_main
 
         return batch_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Subcommand: the scheduling daemon + shared HTTP cache.
+        from repro.server.app import serve_main
+
+        return serve_main(argv[1:])
     if argv and argv[0] == "report":
         # Subcommand: fuse observability artifacts into one HTML file.
         from repro.obs.report import report_main

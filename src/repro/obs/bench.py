@@ -39,6 +39,8 @@ import subprocess
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.canonical import canonical_dump
+
 #: Bump when a payload's structure changes incompatibly.  Loaders
 #: refuse other versions rather than mis-reading them.
 BENCH_SCHEMA = "repro.bench"
@@ -81,9 +83,8 @@ def wrap_payload(schema: str, body: dict) -> dict:
 
 
 def write_json(path: str, payload: dict) -> None:
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    """Write one payload as canonical (sorted-key) pretty JSON."""
+    canonical_dump(payload, path, indent=2)
 
 
 def load_payload(path: str, schema: str = BENCH_SCHEMA) -> dict:
@@ -231,6 +232,12 @@ def _batch_runner(scenario, **kwargs) -> dict:
     return run_batch_bench(scenario, **kwargs)
 
 
+def _server_runner(scenario, **kwargs) -> dict:
+    from repro.server.bench import run_server_bench
+
+    return run_server_bench(scenario, **kwargs)
+
+
 def _livermore_corpus(size: int) -> list:
     """The Livermore kernels (size caps the count; they are few)."""
     from repro.workloads.livermore import livermore_kernels
@@ -276,6 +283,12 @@ def _scenarios() -> Dict[str, Scenario]:
             "batch",
             "the repro.service batch path: parallel speedup + warm/cold cache",
             runner=_batch_runner,
+        ),
+        "server": Scenario(
+            "server",
+            "the repro.server daemon under concurrent clients: request "
+            "latency quantiles, req/s, cache hit ratio",
+            runner=_server_runner,
         ),
     }
 

@@ -40,6 +40,7 @@ import sqlite3
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.canonical import canonical_dumps
 from repro.obs.bench import BENCH_SCHEMA, load_payload
 
 #: Bump when the *database* layout changes incompatibly.
@@ -147,7 +148,7 @@ class HistoryStore:
                 payload.get("platform"),
                 payload.get("cpu_count"),
                 int(payload.get("schema_version") or 0),
-                json.dumps(payload, sort_keys=True),
+                canonical_dumps(payload),
             ),
         )
         self._conn.commit()
@@ -491,7 +492,7 @@ def _show_main(args) -> int:
                     f"{n_metrics} metric(s)"
                 )
         if args.json:
-            print(json.dumps(out, indent=2, sort_keys=True))
+            print(canonical_dumps(out, indent=2))
         return 0
     finally:
         store.close()
@@ -525,7 +526,7 @@ def _trend_main(args) -> int:
             else:
                 print(render_trends(trends, anomalies_only=args.anomalies_only))
         if args.json:
-            print(json.dumps(payload, indent=2, sort_keys=True))
+            print(canonical_dumps(payload, indent=2))
         if args.fail_on_anomaly and anomalous:
             print(f"FAIL: {anomalous} anomalous point(s) in the history")
             return 1

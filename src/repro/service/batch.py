@@ -259,6 +259,10 @@ def run_batch(
     timeout: Optional[float] = None,
     cache_dir: Optional[str] = None,
     cache_db: Optional[str] = None,
+    cache_url: Optional[str] = None,
+    cache_fallback_dir: Optional[str] = None,
+    cache_auth_token: Optional[str] = None,
+    cache: Optional[CacheBackend] = None,
     use_cache: bool = True,
     metrics=None,
     max_retries: int = 2,
@@ -281,8 +285,20 @@ def run_batch(
         jobs: Worker processes; 1 (the default) runs serially in-process.
         timeout: Per-job wall-clock budget in seconds (None = unlimited).
         cache_dir: Root of a directory result cache; mutually exclusive
-            with ``cache_db``.  Both None disables caching entirely.
+            with ``cache_db`` and ``cache_url``.  All three None (and no
+            ``cache`` instance) disables caching entirely.
         cache_db: Path of a single-file sqlite result cache (WAL mode).
+        cache_url: Base URL of a ``repro serve`` daemon; results are
+            read from and written to its shared cache over HTTP
+            (see :class:`repro.server.httpcache.HTTPCache`).
+        cache_fallback_dir: Local directory the HTTP cache degrades to
+            when the server is unreachable (``cache_url`` only).
+        cache_auth_token: Bearer token for ``cache_url``.
+        cache: An already-open :class:`CacheBackend` instance to use
+            directly; the caller owns its lifecycle (it is not closed
+            here).  Mutually exclusive with the location arguments —
+            this is how the server's ``/v1/batch`` endpoint runs
+            batches against its own shared, locked cache.
         use_cache: Set False to bypass reads *and* writes even when a
             cache location is set.
         metrics: Optional :class:`repro.obs.MetricsRegistry`; receives
@@ -353,11 +369,19 @@ def run_batch(
         for job in all_jobs:
             tracker.emit(job_event(KIND_SUBMITTED, job.index, job.name))
 
-    cache: Optional[CacheBackend] = None
     cached_results: List[JobResult] = []
     pending: List[ScheduleJob] = all_jobs
-    if use_cache:
-        cache = open_cache(cache_dir=cache_dir, cache_db=cache_db)
+    owns_cache = cache is None
+    if not use_cache:
+        cache = None
+    elif cache is None:
+        cache = open_cache(
+            cache_dir=cache_dir,
+            cache_db=cache_db,
+            cache_url=cache_url,
+            cache_fallback_dir=cache_fallback_dir,
+            auth_token=cache_auth_token,
+        )
     if cache is not None:
         pending = []
         for job in all_jobs:
@@ -445,7 +469,7 @@ def run_batch(
     _record_metrics(metrics, report)
     if spool_stats is not None:
         record_spool_stats(metrics, spool_stats)
-    if cache is not None:
+    if cache is not None and owns_cache:
         cache.close()
     return report
 
@@ -598,6 +622,27 @@ def build_batch_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="single-file sqlite result cache (WAL mode, shareable "
         "across runs; mutually exclusive with --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="URL",
+        help="share a `repro serve` daemon's warm result cache over HTTP "
+        "(mutually exclusive with --cache-dir/--cache-db); degrades to "
+        "--cache-fallback-dir when the server is unreachable",
+    )
+    parser.add_argument(
+        "--cache-fallback-dir",
+        default=None,
+        metavar="DIR",
+        help="local directory cache used when --cache-url is unreachable "
+        f"(default {DEFAULT_CACHE_DIR}; requires --cache-url)",
+    )
+    parser.add_argument(
+        "--cache-auth-token",
+        default=os.environ.get("REPRO_SERVER_TOKEN"),
+        metavar="TOKEN",
+        help="bearer token for --cache-url (default: $REPRO_SERVER_TOKEN)",
     )
     parser.add_argument(
         "--no-cache",
@@ -767,9 +812,24 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     from repro.core import ALGORITHMS
     from repro.machine import cydra5
 
-    if args.cache_dir is not None and args.cache_db is not None:
+    cache_locations = [
+        flag
+        for flag, value in (
+            ("--cache-dir", args.cache_dir),
+            ("--cache-db", args.cache_db),
+            ("--cache-url", args.cache_url),
+        )
+        if value is not None
+    ]
+    if len(cache_locations) > 1:
         print(
-            "error: pass either --cache-dir or --cache-db, not both",
+            f"error: pass at most one of {', '.join(cache_locations)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_fallback_dir is not None and args.cache_url is None:
+        print(
+            "error: --cache-fallback-dir requires --cache-url",
             file=sys.stderr,
         )
         return 2
@@ -821,8 +881,13 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         ]
 
     cache_dir = args.cache_dir
+    cache_fallback_dir = None
     if args.no_cache:
         cache_dir = None
+    elif args.cache_url is not None:
+        # HTTP cache; degrade to a local directory cache when the
+        # server is unreachable so the batch always completes.
+        cache_fallback_dir = args.cache_fallback_dir or DEFAULT_CACHE_DIR
     elif cache_dir is None and args.cache_db is None:
         cache_dir = DEFAULT_CACHE_DIR
 
@@ -867,6 +932,9 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
             timeout=args.timeout,
             cache_dir=cache_dir,
             cache_db=None if args.no_cache else args.cache_db,
+            cache_url=None if args.no_cache else args.cache_url,
+            cache_fallback_dir=cache_fallback_dir,
+            cache_auth_token=args.cache_auth_token,
             backend=args.backend,
             chunk_size=args.chunk_size,
             machines=machines,

@@ -39,6 +39,7 @@ import tempfile
 import time
 from typing import Iterator, Optional
 
+from repro.canonical import canonical_dumps
 from repro.experiments.metrics import LoopMetrics
 
 #: Payload envelope identifiers; version bumps invalidate old entries.
@@ -184,7 +185,7 @@ class DirectoryCache(CacheBackend):
             )
             try:
                 with os.fdopen(fd, "w") as handle:
-                    json.dump(metrics_to_payload(key, metrics), handle, sort_keys=True)
+                    handle.write(canonical_dumps(metrics_to_payload(key, metrics)))
                     handle.write("\n")
                 os.replace(tmp_path, path)
             except BaseException:
@@ -252,7 +253,7 @@ ResultCache = DirectoryCache
 class SQLiteCache(CacheBackend):
     """Single-file sqlite result cache (WAL mode, shared across runs)."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, threadsafe: bool = False):
         import sqlite3
 
         self.path = path
@@ -261,8 +262,16 @@ class SQLiteCache(CacheBackend):
         os.makedirs(directory, exist_ok=True)
         # Autocommit (isolation_level=None) keeps puts single-statement
         # atomic without long write transactions; WAL lets concurrent
-        # CI runs read while one writes.
-        self._conn = sqlite3.connect(path, timeout=30.0, isolation_level=None)
+        # CI runs read while one writes.  ``threadsafe=True`` lets one
+        # connection be shared across threads — the caller must then
+        # serialize access itself (the server wraps the backend in a
+        # lock; autocommit keeps each statement atomic regardless).
+        self._conn = sqlite3.connect(
+            path,
+            timeout=30.0,
+            isolation_level=None,
+            check_same_thread=not threadsafe,
+        )
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute(
@@ -328,7 +337,7 @@ class SQLiteCache(CacheBackend):
     def put(self, key: str, metrics: LoopMetrics, created_unix: Optional[float] = None) -> bool:
         import sqlite3
 
-        payload = json.dumps(metrics_to_payload(key, metrics), sort_keys=True)
+        payload = canonical_dumps(metrics_to_payload(key, metrics))
         stamp = time.time() if created_unix is None else created_unix
         try:
             self._conn.execute(
@@ -405,11 +414,32 @@ class SQLiteCache(CacheBackend):
 
 
 def open_cache(
-    cache_dir: Optional[str] = None, cache_db: Optional[str] = None
+    cache_dir: Optional[str] = None,
+    cache_db: Optional[str] = None,
+    cache_url: Optional[str] = None,
+    cache_fallback_dir: Optional[str] = None,
+    auth_token: Optional[str] = None,
 ) -> Optional[CacheBackend]:
-    """Pick a backend from the CLI-style pair of location options."""
-    if cache_dir is not None and cache_db is not None:
-        raise ValueError("pass either cache_dir or cache_db, not both")
+    """Pick a backend from the CLI-style trio of location options.
+
+    ``cache_url`` selects the HTTP backend (:mod:`repro.server`'s
+    shared warm cache); ``cache_fallback_dir`` then names the local
+    directory cache the client degrades to when the server is
+    unreachable (None = degrade to recompute).  The three locations are
+    mutually exclusive; ``auth_token`` only applies to ``cache_url``.
+    """
+    locations = [x for x in (cache_dir, cache_db, cache_url) if x is not None]
+    if len(locations) > 1:
+        raise ValueError(
+            "pass at most one of cache_dir, cache_db and cache_url"
+        )
+    if cache_url is not None:
+        from repro.server.httpcache import HTTPCache
+
+        fallback = (
+            DirectoryCache(cache_fallback_dir) if cache_fallback_dir else None
+        )
+        return HTTPCache(cache_url, fallback=fallback, auth_token=auth_token)
     if cache_db is not None:
         return SQLiteCache(cache_db)
     if cache_dir is not None:

@@ -5,7 +5,8 @@ options)`` must hash to the same SHA-256 on every run, every process,
 and every ``PYTHONHASHSEED``.  Python's builtin ``hash()`` and set/dict
 iteration order are therefore off limits; everything here reduces a
 request to plain lists/dicts with explicitly sorted keys and then runs
-``json.dumps(sort_keys=True)`` through SHA-256.
+the shared canonical serializer (:mod:`repro.canonical`) through
+SHA-256.
 
 The key covers every input the scheduler reads:
 
@@ -24,10 +25,9 @@ The key covers every input the scheduler reads:
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import json
 from typing import Optional, Union
 
+from repro.canonical import canonical_digest, canonical_dumps
 from repro.frontend import ast as fast
 from repro.ir.loop import LoopBody
 from repro.machine.machine import Machine
@@ -231,12 +231,7 @@ def request_json(
     options=None,
 ) -> str:
     """Deterministic JSON encoding of the canonical request."""
-    return json.dumps(
-        canonical_request(program, machine, algorithm, options),
-        sort_keys=True,
-        separators=(",", ":"),
-        allow_nan=False,
-    )
+    return canonical_dumps(canonical_request(program, machine, algorithm, options))
 
 
 def cache_key(
@@ -246,8 +241,7 @@ def cache_key(
     options=None,
 ) -> str:
     """Stable SHA-256 hex digest identifying one scheduling request."""
-    encoded = request_json(program, machine, algorithm, options).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()
+    return canonical_digest(canonical_request(program, machine, algorithm, options))
 
 
 def machine_digest(machine: Machine) -> str:
@@ -258,10 +252,4 @@ def machine_digest(machine: Machine) -> str:
     latencies, pipelining) share one deserialized machine per worker,
     however many jobs reference it.
     """
-    encoded = json.dumps(
-        canonical_machine(machine),
-        sort_keys=True,
-        separators=(",", ":"),
-        allow_nan=False,
-    ).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()
+    return canonical_digest(canonical_machine(machine))

@@ -1,0 +1,1 @@
+"""Tests for the repro.server daemon, protocol and HTTP cache."""

@@ -1,0 +1,45 @@
+"""The `server` bench scenario: load-tests the daemon, gates determinism."""
+
+from repro.obs.bench import BENCH_SCHEMA, scenario_registry
+from repro.server.bench import run_server_bench
+
+
+def test_server_scenario_is_registered():
+    registry = scenario_registry()
+    assert "server" in registry
+    assert registry["server"].runner is not None
+
+
+def test_run_server_bench_payload(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # any stray artifacts land in tmp
+    scenario = scenario_registry()["server"]
+    payload = run_server_bench(
+        scenario, corpus_size=4, repeats=1, clients=2
+    )
+    assert payload["schema"] == BENCH_SCHEMA
+    body_metrics = payload["metrics"]
+    for name in (
+        "wall_time_s",
+        "cold_latency_p50_ms",
+        "cold_latency_p99_ms",
+        "warm_latency_p50_ms",
+        "warm_latency_p99_ms",
+        "requests_per_s",
+        "cache_hit_ratio",
+        "warm_byte_identical",
+        "conditional_304_ratio",
+        "request_errors",
+        "success_rate",
+    ):
+        assert name in body_metrics, name
+    # Deterministic gates: every warm request hit the shared cache,
+    # byte-identically, and every conditional replay got a 304.
+    assert body_metrics["cache_hit_ratio"]["value"] == 1.0
+    assert body_metrics["warm_byte_identical"]["value"] == 1.0
+    assert body_metrics["conditional_304_ratio"]["value"] == 1.0
+    assert body_metrics["request_errors"]["value"] == 0.0
+    assert body_metrics["loops"]["value"] == 4.0
+    assert payload["clients"] == 2
+    # Time metrics never gate --fail-on-regress by default.
+    assert body_metrics["wall_time_s"]["kind"] == "time"
+    assert body_metrics["cache_hit_ratio"]["kind"] == "count"

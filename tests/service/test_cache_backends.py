@@ -133,7 +133,7 @@ def test_open_cache_selects_backend(tmp_path):
     sqlite = open_cache(cache_db=str(tmp_path / "c.sqlite"))
     assert isinstance(sqlite, SQLiteCache)
     sqlite.close()
-    with pytest.raises(ValueError, match="not both"):
+    with pytest.raises(ValueError, match="at most one"):
         open_cache(cache_dir="a", cache_db="b")
 
 
@@ -277,7 +277,7 @@ def test_cli_cache_dir_and_db_conflict(tmp_path, capsys):
             "--cache-db", str(tmp_path / "c.sqlite"),
         ]
     ) == 2
-    assert "not both" in capsys.readouterr().err
+    assert "at most one" in capsys.readouterr().err
 
 
 def test_parse_size_and_age_suffixes():
