@@ -71,7 +71,7 @@ from repro.core import ALGORITHMS, modulo_schedule, validate_schedule
 from repro.frontend import compile_loop
 from repro.frontend.parser import ParseError, parse_loop
 from repro.ir import build_ddg
-from repro.machine import cydra5
+from repro.machine import MachineError, cydra5, machine_from_cli
 from repro.obs import (
     CollectingTracer,
     MetricsRegistry,
@@ -93,6 +93,21 @@ end do
 """
 
 
+def resolve_machine(machine_arg: Optional[str], load_latency: Optional[int]):
+    """``--machine``/``--load-latency`` -> a registry Machine.
+
+    No ``--machine`` keeps the historical default (cydra5 at the given
+    load latency); with one, ``--load-latency`` still applies when the
+    family has that knob and the spec text didn't set it.  Raises
+    :class:`repro.machine.MachineError` on unknown names/parameters.
+    """
+    if machine_arg is None:
+        return cydra5(
+            load_latency=load_latency if load_latency is not None else 13
+        )
+    return machine_from_cli(machine_arg, load_latency=load_latency)
+
+
 def build_argument_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -107,7 +122,19 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="scheduler to use (default: slack)",
     )
     parser.add_argument(
-        "--load-latency", type=int, default=13, help="memory latency register (default 13)"
+        "--machine",
+        metavar="NAME[:k=v,...]",
+        default=None,
+        help="registered target machine, optionally with parameter "
+        "overrides, e.g. vliw-wide or simd:depth=3,lanes=4 "
+        "(default cydra5; see repro.machine.registry)",
+    )
+    parser.add_argument(
+        "--load-latency",
+        type=int,
+        default=None,
+        help="memory latency register (default: the machine's default; "
+        "13 for cydra5)",
     )
     parser.add_argument("--emit", action="store_true", help="print kernel-only VLIW code")
     parser.add_argument(
@@ -216,7 +243,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
-    machine = cydra5(load_latency=args.load_latency)
+    try:
+        machine = resolve_machine(args.machine, args.load_latency)
+    except MachineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     ddg = build_ddg(loop, machine)
     if args.dump_ir:
         print(loop.dump())

@@ -17,6 +17,7 @@ from repro.experiments.runner import (
     measure_loop,
     run_corpus,
     run_corpus_sweep,
+    sweep_layout,
 )
 from repro.experiments.tables import (
     scheduling_performance,
@@ -47,6 +48,7 @@ __all__ = [
     "measure_loop",
     "run_corpus",
     "run_corpus_sweep",
+    "sweep_layout",
     "scheduling_performance",
     "section6_effort",
     "table2",

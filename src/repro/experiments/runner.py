@@ -207,6 +207,23 @@ def run_corpus(
     ]
 
 
+def sweep_layout(programs, machines):
+    """Flatten a machines x programs grid into one heterogeneous batch.
+
+    Returns ``(flat_programs, flat_machines)`` — every program repeated
+    once per machine, machine-major, so ``flat[i * len(programs) +
+    j]`` is ``programs[j]`` under ``machines[i]``.  This is the single
+    layout both :func:`run_corpus_sweep` and the batch CLI's
+    ``--sweep-machine``/``--sweep-load-latency`` grids use, so their
+    result ordering (and cache keys) agree.
+    """
+    programs = list(programs)
+    machines = list(machines)
+    flat_programs = [program for _ in machines for program in programs]
+    flat_machines = [machine for machine in machines for _ in programs]
+    return flat_programs, flat_machines
+
+
 def run_corpus_sweep(
     programs,
     machines,
@@ -230,8 +247,7 @@ def run_corpus_sweep(
     """
     programs = list(programs)
     machines = list(machines)
-    flat_programs = [program for _ in machines for program in programs]
-    flat_machines = [m for m in machines for _ in programs]
+    flat_programs, flat_machines = sweep_layout(programs, machines)
     flat = run_corpus(
         flat_programs,
         algorithm=algorithm,

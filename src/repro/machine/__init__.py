@@ -1,14 +1,54 @@
-"""Cydra-5-like VLIW machine model: units, reservations, register files."""
+"""VLIW machine models: units, reservations, register files, registry.
+
+The default target is the paper's Cydra-5-like VLIW (:func:`cydra5`);
+:mod:`repro.machine.registry` generalizes it into a declarative zoo of
+named, parameterized machine descriptions shared by the CLI, the batch
+service, the wire protocol and the bench harness.
+"""
 
 from repro.machine.machine import Machine, UnitInstance, cydra5
 from repro.machine.mrt import ModuloResourceTable
 from repro.machine.registers import RotatingFile, StaticFile
+from repro.machine.registry import (
+    MachineError,
+    MachineFamily,
+    MachineParam,
+    MachineParamError,
+    MachineSpec,
+    UnitSpec,
+    UnknownMachineError,
+    build_machine,
+    default_machines,
+    default_specs,
+    get_family,
+    machine_from_cli,
+    machine_names,
+    machine_spec,
+    parse_machine_arg,
+    register_family,
+)
 from repro.machine.units import UnitClass, table1_units
 
 __all__ = [
     "Machine",
+    "MachineError",
+    "MachineFamily",
+    "MachineParam",
+    "MachineParamError",
+    "MachineSpec",
     "UnitInstance",
+    "UnitSpec",
+    "UnknownMachineError",
+    "build_machine",
     "cydra5",
+    "default_machines",
+    "default_specs",
+    "get_family",
+    "machine_from_cli",
+    "machine_names",
+    "machine_spec",
+    "parse_machine_arg",
+    "register_family",
     "ModuloResourceTable",
     "RotatingFile",
     "StaticFile",

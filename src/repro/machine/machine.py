@@ -22,10 +22,20 @@ UnitInstance = Tuple[int, int]
 
 
 class Machine:
-    """A VLIW machine built from a tuple of :class:`UnitClass` es."""
+    """A VLIW machine built from a tuple of :class:`UnitClass` es.
 
-    def __init__(self, name: str, unit_classes: Sequence[UnitClass]):
+    ``spec`` is the declarative :class:`repro.machine.registry
+    .MachineSpec` the machine was materialized from, when it came
+    through the registry; cache keying prefers it (the spec payload is
+    the canonical description) but hand-built machines without one keep
+    working everywhere.
+    """
+
+    def __init__(
+        self, name: str, unit_classes: Sequence[UnitClass], spec=None
+    ):
         self.name = name
+        self.spec = spec
         self.unit_classes: Tuple[UnitClass, ...] = tuple(unit_classes)
         self._class_of_opcode: Dict[Opcode, int] = {}
         for index, unit_class in enumerate(self.unit_classes):
@@ -96,5 +106,12 @@ class Machine:
 
 
 def cydra5(load_latency: int = 13) -> Machine:
-    """The paper's hypothetical Cydra-5-like VLIW target (Table 1)."""
-    return Machine(f"cydra5-load{load_latency}", table1_units(load_latency))
+    """The paper's hypothetical Cydra-5-like VLIW target (Table 1).
+
+    Resolved through the machine registry (`repro.machine.registry`),
+    which materializes the identical name and unit classes the old
+    hardwired constructor produced — cache keys are unchanged.
+    """
+    from repro.machine.registry import build_machine
+
+    return build_machine("cydra5", load_latency=load_latency)

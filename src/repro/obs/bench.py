@@ -238,6 +238,10 @@ def _server_runner(scenario, **kwargs) -> dict:
     return run_server_bench(scenario, **kwargs)
 
 
+def _machine_zoo_runner(scenario, **kwargs) -> dict:
+    return run_machine_zoo_bench(scenario, **kwargs)
+
+
 def _livermore_corpus(size: int) -> list:
     """The Livermore kernels (size caps the count; they are few)."""
     from repro.workloads.livermore import livermore_kernels
@@ -289,6 +293,12 @@ def _scenarios() -> Dict[str, Scenario]:
             "the repro.server daemon under concurrent clients: request "
             "latency quantiles, req/s, cache hit ratio",
             runner=_server_runner,
+        ),
+        "machine_zoo": Scenario(
+            "machine_zoo",
+            "every registry target over one corpus: per-target II/MII "
+            "and MaxLive/MinAvg",
+            runner=_machine_zoo_runner,
         ),
     }
 
@@ -382,12 +392,120 @@ def run_scenario(
             "scenario": scenario.name,
             "description": scenario.description,
             "algorithm": scenario.algorithm,
+            "machine": machine.name,
             "corpus_size": len(programs),
             "repeats": stats["n"],
             "warmup": warmup,
             "wall_time_samples_s": samples,
             "metrics": metrics,
             "profile": profile_snapshot,
+        },
+    )
+
+
+def run_machine_zoo_bench(
+    scenario: Scenario,
+    corpus_size: int = 60,
+    repeats: int = 3,
+    warmup: int = 1,
+    profile: bool = True,
+    memory: bool = False,
+    machine=None,
+) -> dict:
+    """Benchmark one corpus across every registry target (the zoo).
+
+    One heterogeneous :func:`repro.experiments.run_corpus_sweep` over
+    :func:`repro.machine.registry.default_specs` per timed repeat.  The
+    payload carries a ``targets`` table (one row per machine: II/MII,
+    MaxLive/MinAvg, success counts, spec digest) plus family-prefixed
+    deterministic metric entries (``vliw-wide_ii_over_mii``, ...) so
+    ``--fail-on-regress`` gates each target's schedule quality
+    independently.  Wall time spans the whole sweep.
+    """
+    from repro.experiments import run_corpus_sweep
+    from repro.machine.registry import default_specs
+
+    if machine is not None:
+        raise ValueError(
+            "machine_zoo benchmarks every registry target; "
+            "--machine does not apply to it"
+        )
+    specs = default_specs()
+    machines = [spec.build() for spec in specs]
+    programs = scenario.build_corpus(corpus_size)
+    options = scenario.options()
+
+    def one_run():
+        return run_corpus_sweep(
+            programs, machines, algorithm=scenario.algorithm, options=options
+        )
+
+    for _ in range(max(0, warmup)):
+        one_run()
+    samples: List[float] = []
+    per_machine = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        per_machine = one_run()
+        samples.append(time.perf_counter() - started)
+
+    stats = sample_stats(samples)
+    wall = stats["median"]
+    total_loops = len(programs) * len(machines)
+    metrics = {
+        "wall_time_s": metric(
+            wall, "s", direction="lower", kind="time", iqr=stats["iqr"]
+        ),
+        "loops_per_s": metric(
+            total_loops / wall if wall else 0.0,
+            "loops/s",
+            direction="higher",
+            kind="time",
+            iqr=_ratio_iqr(total_loops, stats),
+        ),
+        "targets": metric(len(machines), "machines", direction="higher"),
+    }
+    targets = []
+    for spec, loop_metrics in zip(specs, per_machine):
+        aggregates = corpus_aggregates(loop_metrics)
+        prefix = spec.family
+        metrics[f"{prefix}_ii_over_mii"] = aggregates["ii_over_mii"]
+        metrics[f"{prefix}_maxlive_over_minavg"] = aggregates[
+            "maxlive_over_minavg"
+        ]
+        metrics[f"{prefix}_success_rate"] = aggregates["success_rate"]
+        scheduled = [m for m in loop_metrics if m.success]
+        targets.append(
+            {
+                "family": spec.family,
+                "machine": spec.name,
+                "digest": spec.digest(),
+                "loops": len(loop_metrics),
+                "loops_scheduled": len(scheduled),
+                "sum_ii": sum(m.ii for m in scheduled),
+                "sum_mii": sum(m.mii for m in scheduled),
+                "sum_max_live": sum(m.max_live for m in scheduled),
+                "sum_min_avg": sum(m.min_avg for m in scheduled),
+                "ii_over_mii": aggregates["ii_over_mii"]["value"],
+                "maxlive_over_minavg": aggregates["maxlive_over_minavg"][
+                    "value"
+                ],
+            }
+        )
+    return wrap_payload(
+        BENCH_SCHEMA,
+        {
+            "scenario": scenario.name,
+            "description": scenario.description,
+            "algorithm": scenario.algorithm,
+            "machines": [spec.name for spec in specs],
+            "corpus_size": len(programs),
+            "repeats": stats["n"],
+            "warmup": warmup,
+            "wall_time_samples_s": samples,
+            "metrics": metrics,
+            "targets": targets,
+            "profile": None,
         },
     )
 
@@ -422,6 +540,12 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--list", action="store_true", help="list scenarios and exit")
     parser.add_argument(
         "--corpus", type=int, default=60, help="corpus size per scenario (default 60)"
+    )
+    parser.add_argument(
+        "--machine",
+        metavar="NAME[:k=v,...]",
+        help="registry machine the scenarios run on (default: cydra5); "
+        "not applicable to machine_zoo, which runs every target",
     )
     parser.add_argument(
         "--repeats", type=int, default=3, help="timed repeats (default 3)"
@@ -504,18 +628,32 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
             f"pick from {', '.join(sorted(registry))}"
         )
         return 2
+    machine = None
+    if args.machine:
+        from repro.machine import MachineError, machine_from_cli
+
+        try:
+            machine = machine_from_cli(args.machine)
+        except MachineError as error:
+            print(f"error: {error}")
+            return 2
     os.makedirs(args.out_dir, exist_ok=True)
     for name in names:
         scenario = registry[name]
         runner = scenario.runner or run_scenario
-        payload = runner(
-            scenario,
-            corpus_size=args.corpus,
-            repeats=args.repeats,
-            warmup=args.warmup,
-            profile=not args.no_profile,
-            memory=args.memory,
-        )
+        try:
+            payload = runner(
+                scenario,
+                corpus_size=args.corpus,
+                repeats=args.repeats,
+                warmup=args.warmup,
+                profile=not args.no_profile,
+                memory=args.memory,
+                machine=machine,
+            )
+        except ValueError as error:
+            print(f"error: {name}: {error}")
+            return 2
         path = os.path.join(args.out_dir, bench_filename(name))
         write_json(path, payload)
         wall = payload["metrics"].get("wall_time_s") or payload["metrics"].get(

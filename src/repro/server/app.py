@@ -336,6 +336,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "schema": protocol.HEALTH_SCHEMA,
                 "schema_version": protocol.SERVER_PROTOCOL_VERSION,
                 "status": "ok",
+                # Machine negotiation: which targets (and parameters)
+                # this server's registry will accept on /v1/schedule.
+                "machines": protocol.machine_catalog(),
             },
         )
         return 200

@@ -44,11 +44,15 @@ def _sweep(
     sources: List[str],
     clients: int,
     headers_for: Optional[Dict[int, dict]] = None,
+    machine_wire: Optional[dict] = None,
 ) -> List[Tuple[int, int, dict, bytes, float]]:
     """Issue one POST /v1/schedule per source across client threads.
 
-    Returns ``(index, status, headers, body, seconds)`` per request,
-    ordered by index.  A transport failure records status 0.
+    ``machine_wire`` (a :meth:`repro.machine.MachineSpec.wire` payload)
+    rides along in every request body, exercising the server's machine
+    negotiation.  Returns ``(index, status, headers, body, seconds)``
+    per request, ordered by index.  A transport failure records
+    status 0.
     """
     from repro.server.httpcache import ServerClient, ServerUnreachable
 
@@ -59,10 +63,13 @@ def _sweep(
         client = ServerClient(url, retries=0)
         for index in range(worker_index, len(sources), clients):
             extra = (headers_for or {}).get(index)
+            body_payload = {"source": sources[index]}
+            if machine_wire is not None:
+                body_payload["machine"] = machine_wire
             started = time.perf_counter()
             try:
                 status, headers, body = client.schedule(
-                    {"source": sources[index]}, headers=extra
+                    body_payload, headers=extra
                 )
             except ServerUnreachable:
                 status, headers, body = 0, {}, b""
@@ -113,6 +120,15 @@ def run_server_bench(
     from repro.server.app import ScheduleServer  # noqa: F401 - import check
     from repro.server.app import ServerConfig, running_server
 
+    machine_wire = None
+    if machine is not None:
+        spec = getattr(machine, "spec", None)
+        if spec is None:
+            raise ValueError(
+                "server bench needs a registry machine (Machine.spec is "
+                "None); build it via repro.machine.build_machine"
+            )
+        machine_wire = spec.wire()
     sources = _render_sources(corpus_size)
     repeats = max(1, repeats)
     cache_root = tempfile.mkdtemp(prefix="repro-bench-server-")
@@ -129,7 +145,7 @@ def run_server_bench(
             url = server.url
 
             started = time.perf_counter()
-            cold = _sweep(url, sources, clients)
+            cold = _sweep(url, sources, clients, machine_wire=machine_wire)
             cold_wall = time.perf_counter() - started
             cold_bodies = {}
             cold_latencies = []
@@ -142,7 +158,7 @@ def run_server_bench(
 
             for _ in range(repeats):
                 started = time.perf_counter()
-                warm = _sweep(url, sources, clients)
+                warm = _sweep(url, sources, clients, machine_wire=machine_wire)
                 warm_walls.append(time.perf_counter() - started)
                 for index, status, headers, body, seconds in warm:
                     warm_requests += 1
@@ -162,7 +178,9 @@ def run_server_bench(
                 for index, status, headers, _, _ in warm
                 if status == 200 and "ETag" in headers
             }
-            for _, status, _, _, _ in _sweep(url, sources, clients, etags):
+            for _, status, _, _, _ in _sweep(
+                url, sources, clients, etags, machine_wire=machine_wire
+            ):
                 if status == 304:
                     not_modified += 1
     finally:
@@ -219,6 +237,7 @@ def run_server_bench(
             "scenario": scenario.name,
             "description": scenario.description,
             "algorithm": scenario.algorithm,
+            "machine": getattr(machine, "name", None),
             "corpus_size": len(sources),
             "repeats": repeats,
             "warmup": warmup,

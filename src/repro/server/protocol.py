@@ -40,10 +40,52 @@ INCLUDE_CHOICES = ("schedule", "explain")
 MAX_SOURCE_BYTES = 256 * 1024
 MAX_BATCH_LOOPS = 2048
 
-#: The machines a request may name.  One registry entry today (the
-#: paper's Cydra-5-like target, parameterized by load latency); the
-#: ROADMAP's machine-model zoo grows here.
-MACHINE_NAMES = ("cydra5",)
+def machine_names() -> Tuple[str, ...]:
+    """The machines a request may name — the registry's families.
+
+    Registering a new :class:`repro.machine.registry.MachineFamily`
+    makes it immediately servable over ``/v1/schedule``/``/v1/batch``;
+    nothing here hardcodes a target list.
+    """
+    from repro.machine.registry import machine_names as registry_names
+
+    return registry_names()
+
+
+def __getattr__(name: str):
+    # MACHINE_NAMES stays importable (and always current) without
+    # paying the machine-model import at protocol import time.
+    if name == "MACHINE_NAMES":
+        return machine_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def machine_catalog() -> List[dict]:
+    """Machine negotiation payload (served on ``GET /healthz``).
+
+    Lists every registered family with its parameters, defaults and
+    legal ranges, so a client can discover what ``{"machine": ...}``
+    objects this server accepts before posting work.
+    """
+    from repro.machine.registry import families
+
+    return [
+        {
+            "name": family.name,
+            "description": family.description,
+            "default_machine": family.spec().name,
+            "params": [
+                {
+                    "name": param.name,
+                    "default": param.default,
+                    "min": param.minimum,
+                    "max": param.maximum,
+                }
+                for param in family.params
+            ],
+        }
+        for family in families()
+    ]
 
 
 class ProtocolError(Exception):
@@ -84,25 +126,40 @@ def _reject_unknown(payload: dict, known: Tuple[str, ...], what: str) -> None:
 
 
 def parse_machine(spec) -> "object":
-    """``{"name": "cydra5", "load_latency": 13}`` -> a Machine."""
-    from repro.machine import cydra5
+    """``{"name": "cydra5", "load_latency": 13}`` -> a Machine.
+
+    The name is resolved against the machine registry and every other
+    field is validated as one of that family's declared parameters —
+    unknown names and out-of-range values are strict 400s whose
+    messages list the registry's current contents.
+    """
+    from repro.machine.registry import MachineParamError, get_family
 
     if spec is None:
-        return cydra5()
+        return get_family("cydra5").build()
     spec = _require_object(spec, "machine")
-    _reject_unknown(spec, ("name", "load_latency"), "machine")
     name = spec.get("name", "cydra5")
-    if name not in MACHINE_NAMES:
+    known = machine_names()
+    if not isinstance(name, str) or name not in known:
         raise ProtocolError(
             400,
-            f"unknown machine {name!r}; known: {', '.join(MACHINE_NAMES)}",
+            f"unknown machine {name!r}; known: {', '.join(known)}",
         )
-    load_latency = spec.get("load_latency", 13)
-    if not isinstance(load_latency, int) or isinstance(load_latency, bool):
-        raise ProtocolError(400, "machine.load_latency must be an integer")
-    if not 1 <= load_latency <= 1024:
-        raise ProtocolError(400, "machine.load_latency must be in 1..1024")
-    return cydra5(load_latency=load_latency)
+    family = get_family(name)
+    _reject_unknown(spec, ("name",) + family.param_names(), "machine")
+    params = {}
+    for param_name in family.param_names():
+        if param_name in spec:
+            value = spec[param_name]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ProtocolError(
+                    400, f"machine.{param_name} must be an integer"
+                )
+            params[param_name] = value
+    try:
+        return family.build(**params)
+    except MachineParamError as error:
+        raise ProtocolError(400, f"machine.{error}") from error
 
 
 def parse_options(spec) -> Optional[object]:

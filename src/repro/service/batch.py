@@ -17,6 +17,9 @@ CLI::
     python -m repro batch a.loop b.loop --cache-db ci.sqlite --out m.json
     python -m repro batch --corpus 60 --jobs 4 --trace batch.jsonl
     python -m repro batch --corpus 60 --sweep-load-latency 2,13,27
+    python -m repro batch --corpus 30 --machine vliw-wide
+    python -m repro batch --corpus 30 --sweep-machine cydra5 \\
+        --sweep-machine vliw-wide --sweep-machine simd:depth=3
     python -m repro batch --gc --max-cache-bytes 500M --max-cache-age 7d
 
 Execution strategy is pluggable (:mod:`repro.service.backends`): jobs=1
@@ -680,16 +683,35 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="scheduler algorithm (default slack)",
     )
     parser.add_argument(
+        "--machine",
+        metavar="NAME[:k=v,...]",
+        default=None,
+        help="registered target machine with optional parameter "
+        "overrides, e.g. vliw-wide or simd:depth=3 (default cydra5; "
+        "see repro.machine.registry)",
+    )
+    parser.add_argument(
         "--load-latency",
         type=int,
-        default=13,
-        help="memory latency register (default 13)",
+        default=None,
+        help="memory latency register (default: the machine's default; "
+        "13 for cydra5)",
     )
     parser.add_argument(
         "--sweep-load-latency",
         metavar="L1,L2,...",
         help="heterogeneous sweep: schedule the whole input once per "
-        "latency in one batch (per-job machines, distinct cache keys)",
+        "latency in one batch (per-job machines, distinct cache keys); "
+        "sweeps the --machine family's load_latency knob",
+    )
+    parser.add_argument(
+        "--sweep-machine",
+        action="append",
+        metavar="NAME[:k=v,...]",
+        help="heterogeneous machine-grid sweep: schedule the whole "
+        "input once per named machine in one batch (repeatable, e.g. "
+        "--sweep-machine cydra5 --sweep-machine vliw-wide "
+        "--sweep-machine simd:depth=3)",
     )
     parser.add_argument(
         "--trace",
@@ -810,7 +832,6 @@ def _gc_main(args) -> int:
 def batch_main(argv: Optional[List[str]] = None) -> int:
     args = build_batch_parser().parse_args(argv)
     from repro.core import ALGORITHMS
-    from repro.machine import cydra5
 
     cache_locations = [
         flag
@@ -862,23 +883,51 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         print("error: provide source files or --corpus N", file=sys.stderr)
         return 2
 
+    if args.sweep_load_latency and args.sweep_machine:
+        print(
+            "error: pass either --sweep-load-latency or --sweep-machine, "
+            "not both",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.experiments.runner import sweep_layout
+    from repro.machine.registry import (
+        MachineError,
+        get_family,
+        machine_from_cli,
+        parse_machine_arg,
+    )
+
     machines = None
-    machine = cydra5(load_latency=args.load_latency)
-    if args.sweep_load_latency:
-        try:
+    try:
+        base_name, base_overrides = parse_machine_arg(args.machine or "cydra5")
+        base_family = get_family(base_name)
+        if (
+            args.load_latency is not None
+            and "load_latency" in base_family.param_names()
+            and "load_latency" not in base_overrides
+        ):
+            base_overrides["load_latency"] = args.load_latency
+        machine = base_family.build(**base_overrides)
+        if args.sweep_load_latency:
             latencies = _parse_latencies(args.sweep_load_latency)
-        except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-        sweep_machines = [cydra5(load_latency=latency) for latency in latencies]
-        programs = [
-            program for sweep_machine in sweep_machines for program in programs
-        ]
-        machines = [
-            sweep_machine
-            for sweep_machine in sweep_machines
-            for _ in range(len(programs) // len(sweep_machines))
-        ]
+            sweep_machines = [
+                base_family.build(
+                    **{**base_overrides, "load_latency": latency}
+                )
+                for latency in latencies
+            ]
+        elif args.sweep_machine:
+            sweep_machines = [
+                machine_from_cli(spec) for spec in args.sweep_machine
+            ]
+        else:
+            sweep_machines = None
+    except (MachineError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if sweep_machines is not None:
+        programs, machines = sweep_layout(programs, sweep_machines)
 
     cache_dir = args.cache_dir
     cache_fallback_dir = None
@@ -1187,6 +1236,7 @@ def run_batch_bench(
             "scenario": scenario.name,
             "description": scenario.description,
             "algorithm": scenario.algorithm,
+            "machine": machine.name,
             "corpus_size": len(programs),
             "repeats": max(1, repeats),
             "warmup": warmup,

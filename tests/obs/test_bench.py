@@ -166,3 +166,57 @@ def test_run_scenario_without_profile_pass():
     )
     assert payload["profile"] is None
     assert payload["algorithm"] == "cydrome"
+
+
+def test_run_scenario_honors_machine_override():
+    from repro.machine import build_machine
+
+    scenario = scenario_registry()["slack"]
+    wide = run_scenario(
+        scenario, corpus_size=4, repeats=1, warmup=0, profile=False,
+        machine=build_machine("vliw-wide", issue=4),
+    )
+    assert wide["machine"] == "vliw-wide-x4-load13"
+    default = run_scenario(
+        scenario, corpus_size=4, repeats=1, warmup=0, profile=False
+    )
+    assert default["machine"] == "cydra5-load13"
+    # A 4x-wide machine cannot do worse on the resource-bound corpus.
+    assert (
+        wide["metrics"]["ii_over_mii"]["value"]
+        <= default["metrics"]["ii_over_mii"]["value"] + 1e-9
+    )
+
+
+def test_machine_zoo_reports_every_target(tmp_path):
+    from repro.machine import machine_names
+    from repro.obs.bench import run_machine_zoo_bench
+
+    scenario = scenario_registry()["machine_zoo"]
+    payload = run_machine_zoo_bench(
+        scenario, corpus_size=4, repeats=1, warmup=0
+    )
+    assert len(payload["targets"]) == len(machine_names()) >= 5
+    for target in payload["targets"]:
+        assert target["loops"] == 4
+        assert target["digest"]
+        assert target["ii_over_mii"] >= 1.0
+    for family in machine_names():
+        assert f"{family}_ii_over_mii" in payload["metrics"]
+        assert f"{family}_maxlive_over_minavg" in payload["metrics"]
+    assert payload["metrics"]["targets"]["value"] == len(machine_names())
+    # Round-trips through the schema loader like every scenario.
+    path = tmp_path / bench_filename("machine_zoo")
+    write_json(str(path), payload)
+    assert load_payload(str(path))["targets"] == payload["targets"]
+
+
+def test_machine_zoo_rejects_machine_override():
+    import pytest as _pytest
+
+    from repro.obs.bench import run_machine_zoo_bench
+    from repro.machine import cydra5
+
+    scenario = scenario_registry()["machine_zoo"]
+    with _pytest.raises(ValueError):
+        run_machine_zoo_bench(scenario, corpus_size=2, machine=cydra5())

@@ -109,6 +109,65 @@ def test_schedule_extras_are_deterministic():
 
 
 # ----------------------------------------------------------------------
+# Machine negotiation (the repro.machine.registry wire surface)
+# ----------------------------------------------------------------------
+def test_registry_machines_parse():
+    request = parse_schedule_request(
+        {"source": SOURCE, "machine": {"name": "simd"}}
+    )
+    assert request.machine.name == "simd-d2-l2-load12"
+    request = parse_schedule_request(
+        {
+            "source": SOURCE,
+            "machine": {"name": "vliw-wide", "issue": 4, "load_latency": 5},
+        }
+    )
+    assert request.machine.name == "vliw-wide-x4-load5"
+
+
+def test_machine_names_tracks_registry():
+    from repro.machine.registry import machine_names
+
+    assert protocol.MACHINE_NAMES == machine_names()
+
+
+def test_unknown_machine_error_lists_registry_names():
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_schedule_request(
+            {"source": SOURCE, "machine": {"name": "tms320"}}
+        )
+    assert excinfo.value.status == 400
+    for name in protocol.MACHINE_NAMES:
+        assert name in excinfo.value.message
+
+
+@pytest.mark.parametrize(
+    "machine, fragment",
+    [
+        ({"name": "simd", "lanes": 0}, "machine.lanes must be in 1..16"),
+        ({"name": "simd", "depth": "deep"}, "machine.depth must be an integer"),
+        ({"name": "gpu", "occupancy": 99}, "machine.occupancy must be in 1..32"),
+        ({"name": "vliw-wide", "lanes": 2}, "unknown machine field(s) lanes"),
+    ],
+)
+def test_machine_param_errors_are_400(machine, fragment):
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_schedule_request({"source": SOURCE, "machine": machine})
+    assert excinfo.value.status == 400
+    assert fragment in excinfo.value.message
+
+
+def test_machine_catalog_shape():
+    catalog = protocol.machine_catalog()
+    assert [family["name"] for family in catalog] == list(protocol.MACHINE_NAMES)
+    for family in catalog:
+        assert family["default_machine"]
+        assert family["description"]
+        for param in family["params"]:
+            assert set(param) == {"name", "default", "min", "max"}
+
+
+# ----------------------------------------------------------------------
 # POST /v1/batch requests
 # ----------------------------------------------------------------------
 def test_batch_request_with_sources():

@@ -180,3 +180,64 @@ def test_cli_sweep_bad_latency_list_exits_2(capsys):
         ["--corpus", "2", "--no-cache", "--sweep-load-latency", "a,b"]
     ) == 2
     assert "cannot parse latency list" in capsys.readouterr().err
+
+
+def test_cli_machine_flag_selects_registry_target(tmp_path, capsys):
+    import json
+
+    from repro.experiments import run_corpus
+    from repro.machine import build_machine
+    from repro.service.batch import batch_main
+    from repro.workloads import paper_corpus
+
+    out = str(tmp_path / "wide.json")
+    assert batch_main(
+        ["--corpus", "4", "--no-cache", "--machine", "vliw-wide:issue=4",
+         "--out", out]
+    ) == 0
+    with open(out) as handle:
+        records = json.load(handle)
+    expected = run_corpus(paper_corpus(4), build_machine("vliw-wide", issue=4))
+    assert [r["ii"] for r in records] == [m.ii for m in expected]
+
+
+def test_cli_sweep_machine_grid(tmp_path, capsys):
+    import json
+
+    from repro.service.batch import batch_main
+
+    out = str(tmp_path / "zoo.json")
+    assert batch_main(
+        [
+            "--corpus", "5",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--sweep-machine", "cydra5",
+            "--sweep-machine", "vliw-wide",
+            "--out", out,
+        ]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "batch: 10 loops  ok=10" in text
+    assert "cache: 0 hits, 10 misses" in text  # distinct key per machine
+    with open(out) as handle:
+        records = json.load(handle)
+    names = [record["name"] for record in records]
+    assert names[:5] == names[5:]  # same corpus, machine-major order
+
+
+def test_cli_sweep_machine_conflicts_and_bad_names(capsys):
+    from repro.service.batch import batch_main
+
+    assert batch_main(
+        ["--corpus", "2", "--no-cache",
+         "--sweep-machine", "cydra5", "--sweep-load-latency", "2,3"]
+    ) == 2
+    assert "not both" in capsys.readouterr().err
+    assert batch_main(
+        ["--corpus", "2", "--no-cache", "--sweep-machine", "tms320"]
+    ) == 2
+    assert "unknown machine" in capsys.readouterr().err
+    assert batch_main(
+        ["--corpus", "2", "--no-cache", "--machine", "gpu:occupancy=99"]
+    ) == 2
+    assert "occupancy must be in 1..32" in capsys.readouterr().err

@@ -73,14 +73,45 @@ def test_request_json_is_sorted_and_nan_free():
     assert json.dumps(payload, sort_keys=True, separators=(",", ":")) == text
 
 
+def test_registry_spec_round_trip_preserves_cache_key():
+    """A machine rebuilt from its serialized spec keys identically."""
+    import json as json_module
+
+    from repro.machine import MachineSpec, default_specs
+
+    program = kernel3_inner_product()
+    for spec in default_specs():
+        rebuilt = MachineSpec.from_json(
+            json_module.loads(json_module.dumps(spec.to_json()))
+        )
+        assert cache_key(program, spec.build()) == cache_key(
+            program, rebuilt.build()
+        )
+
+
+def test_registry_machines_key_like_hand_built_equivalents():
+    """The spec fast path in canonical_machine matches the attribute
+    walk: a registry machine and a structurally identical Machine built
+    without a spec produce the same cache key."""
+    from repro.machine import Machine, build_machine, table1_units
+
+    program = kernel3_inner_product()
+    registry = build_machine("cydra5", load_latency=5)
+    hand_built = Machine("cydra5-load5", table1_units(5))
+    assert hand_built.spec is None  # exercises the attribute walk
+    assert cache_key(program, registry) == cache_key(program, hand_built)
+
+
 _SUBPROCESS_SCRIPT = """
-from repro.machine import cydra5
+from repro.machine import cydra5, machine_from_cli
 from repro.core import SchedulerOptions
 from repro.service.keys import cache_key
 from repro.workloads import named_kernels
-machine = cydra5()
-for program in named_kernels()[:6]:
-    print(cache_key(program, machine, "slack", SchedulerOptions()))
+machines = [cydra5(), machine_from_cli("vliw-wide"),
+            machine_from_cli("simd:depth=3"), machine_from_cli("gpu")]
+for machine in machines:
+    for program in named_kernels()[:3]:
+        print(cache_key(program, machine, "slack", SchedulerOptions()))
 """
 
 
@@ -102,7 +133,8 @@ def _keys_under_hashseed(seed: str):
 
 def test_keys_independent_of_pythonhashseed():
     """Cross-process property: keys are byte-identical under different
-    PYTHONHASHSEED values (no reliance on hash()/set/dict order)."""
+    PYTHONHASHSEED values (no reliance on hash()/set/dict order) — for
+    the default target and the registry machines alike."""
     first = _keys_under_hashseed("0")
     second = _keys_under_hashseed("4242")
     assert first and first == second
