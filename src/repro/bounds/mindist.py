@@ -8,8 +8,19 @@ because ``II >= RecMII`` every dependence cycle has non-positive cost,
 so the closure is well defined.
 
 Computed with a vectorized Floyd–Warshall over a numpy int64 matrix
-("no path" is a large negative sentinel).  Recomputed for each attempted
-II, exactly as the paper does.
+("no path" is a large negative sentinel).  The per-arc (src, dst,
+latency, omega) base arrays are cached on the DDG (see
+:meth:`repro.ir.ddg.DDG.arc_cost_bases`), so rebuilding the cost matrix
+at an escalated II is one vectorized ``latency - omega * II`` update
+instead of a Python re-scan of every arc; finished closures are also
+memoized per (DDG, II) — the driver's escalation loop, the RecMII
+feasibility search, and the evaluation harness all ask for the same
+(DDG, II) pairs repeatedly.
+
+The "no path" boundary is owned by this module: every consumer must
+test entries through :data:`NO_PATH_CUTOFF` / :func:`is_path` /
+:func:`path_mask` rather than hand-rolling a comparison (historically
+one caller used ``>`` where this module used ``>=``).
 """
 
 from __future__ import annotations
@@ -24,8 +35,24 @@ from repro.ir.ddg import DDG
 #: add to itself inside int64.
 NO_PATH = -(2**40)
 
-#: Threshold below which a closure entry is treated as "no path".
-_NO_PATH_CUTOFF = -(2**39)
+#: Threshold below which a closure entry is treated as "no path": an
+#: entry represents a real path iff it is >= this cutoff.  This is the
+#: single boundary every consumer must share (framework dependence
+#: checks included), pinned by tests/bounds/test_mindist.py.
+NO_PATH_CUTOFF = -(2**39)
+
+#: Backwards-compatible private alias (pre-unification name).
+_NO_PATH_CUTOFF = NO_PATH_CUTOFF
+
+
+def is_path(entry: int) -> bool:
+    """True when a closure entry encodes a real path (scalar form)."""
+    return entry >= NO_PATH_CUTOFF
+
+
+def path_mask(entries: np.ndarray) -> np.ndarray:
+    """Boolean mask of real-path entries (vectorized form)."""
+    return entries >= NO_PATH_CUTOFF
 
 
 class MinDist:
@@ -43,22 +70,26 @@ class MinDist:
         self.n = ddg.n
         prof = profiler if (profiler is not None and profiler.enabled) else None
         if prof is None:
-            self.matrix, self.feasible = _closure(ddg, ii)
+            self.matrix, self.feasible = _closure_cached(ddg, ii)
         else:
+            cached = ii in getattr(ddg, "_mindist_closures", {})
             with prof.span("bounds.mindist"):
-                self.matrix, self.feasible = _closure(ddg, ii)
-            prof.count("mindist.closures")
-            prof.count("mindist.closure_nodes", self.n)
+                self.matrix, self.feasible = _closure_cached(ddg, ii)
+            if cached:
+                prof.count("mindist.cache_hits")
+            else:
+                prof.count("mindist.closures")
+                prof.count("mindist.closure_nodes", self.n)
 
     def dist(self, src: int, dst: int) -> Optional[int]:
         """MinDist(src, dst) in cycles, or None if unconstrained."""
         entry = int(self.matrix[src, dst])
-        if entry < _NO_PATH_CUTOFF:
+        if not is_path(entry):
             return None
         return entry
 
     def has_path(self, src: int, dst: int) -> bool:
-        return int(self.matrix[src, dst]) >= _NO_PATH_CUTOFF
+        return is_path(int(self.matrix[src, dst]))
 
     def __repr__(self) -> str:
         return f"MinDist(n={self.n}, ii={self.ii}, feasible={self.feasible})"
@@ -66,19 +97,31 @@ class MinDist:
 
 def _closure(ddg: DDG, ii: int) -> "tuple[np.ndarray, bool]":
     n = ddg.n
+    src, dst, latency, omega = ddg.arc_cost_bases()
     dist = np.full((n, n), NO_PATH, dtype=np.int64)
-    for arc in ddg.arcs:
-        cost = arc.latency - arc.omega * ii
-        if cost > dist[arc.src, arc.dst]:
-            dist[arc.src, arc.dst] = cost
+    # Max over parallel arcs; only the -omega*II term depends on II.
+    np.maximum.at(dist, (src, dst), latency - omega * ii)
     for k in range(n):
         via = dist[:, k : k + 1] + dist[k : k + 1, :]
         np.maximum(dist, via, out=dist)
     diagonal = np.diagonal(dist)
-    feasible = bool(np.all((diagonal <= 0) | (diagonal < _NO_PATH_CUTOFF)))
+    feasible = bool(np.all((diagonal <= 0) | ~path_mask(diagonal)))
     # The paper sets MinDist(x, x) = 0 for every operation.
     np.fill_diagonal(dist, 0)
     return dist, feasible
+
+
+def _closure_cached(ddg: DDG, ii: int) -> "tuple[np.ndarray, bool]":
+    """Memoized closure: one matrix per (DDG, II), shared read-only."""
+    cache = getattr(ddg, "_mindist_closures", None)
+    if cache is None:
+        cache = ddg._mindist_closures = {}
+    entry = cache.get(ii)
+    if entry is None:
+        matrix, feasible = _closure(ddg, ii)
+        matrix.setflags(write=False)
+        entry = cache[ii] = (matrix, feasible)
+    return entry
 
 
 def is_feasible_ii(ddg: DDG, ii: int) -> bool:
@@ -87,5 +130,5 @@ def is_feasible_ii(ddg: DDG, ii: int) -> bool:
     This is the Lawler-style feasibility predicate underlying RecMII:
     the smallest feasible II over this predicate *is* RecMII.
     """
-    _, feasible = _closure(ddg, ii)
+    _, feasible = _closure_cached(ddg, ii)
     return feasible

@@ -281,8 +281,20 @@ def recmii_by_feasibility(ddg: DDG) -> int:
 
 
 def recmii(ddg: DDG, circuit_limit: int = 50_000) -> int:
-    """RecMII; prefers circuit scanning, falls back to feasibility search."""
-    try:
-        return recmii_by_circuits(ddg, limit=circuit_limit)
-    except CircuitLimitExceeded:
-        return recmii_by_feasibility(ddg)
+    """RecMII; prefers circuit scanning, falls back to feasibility search.
+
+    Memoized on the DDG (the arc list is immutable after construction),
+    so re-scheduling against a prebuilt graph — the service/bench path —
+    does not re-enumerate circuits.
+    """
+    memo = getattr(ddg, "_recmii_memo", None)
+    if memo is None:
+        memo = ddg._recmii_memo = {}
+    bound = memo.get(circuit_limit)
+    if bound is None:
+        try:
+            bound = recmii_by_circuits(ddg, limit=circuit_limit)
+        except CircuitLimitExceeded:
+            bound = recmii_by_feasibility(ddg)
+        memo[circuit_limit] = bound
+    return bound

@@ -25,11 +25,12 @@ asymptotics the paper reports.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional, Set
 
 import numpy as np
 
-from repro.bounds.mindist import MinDist, _NO_PATH_CUTOFF
+from repro.bounds.mindist import MinDist, path_mask
 from repro.bounds.resmii import resmii
 from repro.ir.ddg import DDG
 from repro.ir.loop import LoopBody
@@ -43,6 +44,10 @@ from repro.obs.prof import Profiler
 
 #: Bound value meaning "unconstrained" in intermediate numpy math.
 _HUGE = 2**40
+
+#: Added to a placed op's choose_operation key; any unplaced op's key
+#: (bounded by ~4 * Lstart^2 << 2**62) always compares below it.
+PLACED_PENALTY = 2**62
 
 
 class AttemptFailed(Exception):
@@ -95,7 +100,12 @@ class SchedulingAttempt:
         #: instead of rounding up to a multiple of II (§4.2's extra
         #: slack only makes sense when II bounds the schedule's period).
         self.tight_cap = tight_cap
+        mindist_started = time.perf_counter()
         self.mindist = MinDist(ddg, ii, profiler=self.prof)
+        #: Wall time of the MinDist build alone, so the driver can
+        #: attribute it to phase.mindist and the rest of construction to
+        #: phase.attempt_setup (they used to be conflated).
+        self.mindist_build_seconds = time.perf_counter() - mindist_started
         if not self.mindist.feasible:
             raise ValueError(f"II={ii} is below RecMII for {loop.name}")
         self.matrix = self.mindist.matrix
@@ -104,14 +114,31 @@ class SchedulingAttempt:
         self.stop_oid = loop.stop.oid
         brtop = loop.brtop()
         self.brtop_oid = brtop.oid if brtop is not None else None
-        self.contention = resmii(loop, machine) > 1
+        # The driver (and the corpus runner) stash their ResMII on the
+        # DDG; every attempt at every escalated II would otherwise
+        # recompute the identical bound.
+        cached_resmii = getattr(ddg, "_resmii", None)
+        if cached_resmii is None:
+            cached_resmii = resmii(loop, machine)
+            ddg._resmii = cached_resmii
+        self.contention = cached_resmii > 1
 
         self.mrt = ModuloResourceTable(machine, ii, binding)
         self.times: Dict[int, int] = {self.start_oid: 0}
         self.last_place: Dict[int, int] = {}
         self.unplaced: Set[int] = {op.oid for op in loop.ops} - {self.start_oid}
+        #: Boolean twin of ``unplaced`` kept in lockstep by _place/_eject
+        #: so choose_operation can vectorize over candidate oids.
+        self.unplaced_mask = np.ones(self.n, dtype=bool)
+        self.unplaced_mask[self.start_oid] = False
+        #: Additive placed-op penalty for vectorized operation choice:
+        #: 0 while unplaced, a huge constant once placed, so a single
+        #: argmin over (key + penalty) only ever selects unplaced ops.
+        self.placed_penalty = np.zeros(self.n, dtype=np.int64)
+        self.placed_penalty[self.start_oid] = PLACED_PENALTY
         self.budget = placement_budget(loop, budget_ratio)
         self.stats = SchedulerStats()
+        self.stats.mindist_seconds += self.mindist_build_seconds
 
         self.estart = np.zeros(self.n, dtype=np.int64)
         self.lstart = np.zeros(self.n, dtype=np.int64)
@@ -150,13 +177,13 @@ class SchedulingAttempt:
         # Estart(x) = max over placed p of t_p + MinDist(p, x).
         from_placed = placed_times[:, None] + self.matrix[placed, :]
         self.estart = from_placed.max(axis=0)
-        np.clip(self.estart, 0, None, out=self.estart)
+        np.maximum(self.estart, 0, out=self.estart)
         # Lstart(x) = min(cap - MinDist(x, Stop), t_p - MinDist(x, p)).
         to_placed = placed_times[None, :] - self.matrix[:, placed]
         self.lstart = to_placed.min(axis=1)
         cap_bound = self.lstart_cap - self.matrix[:, self.stop_oid]
         np.minimum(self.lstart, cap_bound, out=self.lstart)
-        np.clip(self.lstart, None, _HUGE, out=self.lstart)
+        np.minimum(self.lstart, _HUGE, out=self.lstart)
         self._bounds_dirty = False
         if self.trace is not None:
             self.trace.emit(tracing.BoundsRecompute(n_placed=len(self.times)))
@@ -195,6 +222,8 @@ class SchedulingAttempt:
         cycle = self.times.pop(oid)
         self.mrt.remove(op, cycle)
         self.unplaced.add(oid)
+        self.unplaced_mask[oid] = True
+        self.placed_penalty[oid] = 0
         self.stats.ejections += 1
         self._bounds_dirty = True
         if self.trace is not None:
@@ -209,22 +238,21 @@ class SchedulingAttempt:
 
         MinDist reflects the transitive closure, so this ejects the full
         set of (possibly indirect) violators, which the paper found
-        reduces overall backtracking.
+        reduces overall backtracking.  Evaluated as one vectorized pass
+        over the placed set; path-ness goes through the shared
+        :func:`~repro.bounds.mindist.path_mask` predicate so this and
+        MinDist.dist/has_path agree on the no-path boundary.
         """
-        row = self.matrix[oid, :]
-        col = self.matrix[:, oid]
-        conflicts = []
-        for other, other_time in self.times.items():
-            if other == oid or other == self.start_oid:
-                continue
-            forward = int(row[other])
-            if forward > _NO_PATH_CUTOFF and other_time < cycle + forward:
-                conflicts.append(other)
-                continue
-            backward = int(col[other])
-            if backward > _NO_PATH_CUTOFF and cycle < other_time + backward:
-                conflicts.append(other)
-        return conflicts
+        count = len(self.times)
+        placed = np.fromiter(self.times.keys(), dtype=np.int64, count=count)
+        placed_times = np.fromiter(self.times.values(), dtype=np.int64, count=count)
+        forward = self.matrix[oid, placed]
+        backward = self.matrix[placed, oid]
+        violates = (path_mask(forward) & (placed_times < cycle + forward)) | (
+            path_mask(backward) & (cycle < placed_times + backward)
+        )
+        violates &= (placed != oid) & (placed != self.start_oid)
+        return placed[violates].tolist()
 
     def _force_place(self, op: Operation) -> int:
         """Step 3: make room for ``op`` by ejecting its blockers."""
@@ -258,6 +286,8 @@ class SchedulingAttempt:
         self.times[op.oid] = cycle
         self.last_place[op.oid] = cycle
         self.unplaced.discard(op.oid)
+        self.unplaced_mask[op.oid] = False
+        self.placed_penalty[op.oid] = PLACED_PENALTY
         self.stats.placements += 1
         if self.prof is not None:
             self.prof.count("framework.placements")
@@ -283,25 +313,16 @@ class SchedulingAttempt:
         raise NotImplementedError
 
     def scan_window(self, op: Operation, lo: int, hi: int, early: bool) -> Optional[int]:
-        """Linear scan for the first conflict-free cycle (§5.2).
+        """First conflict-free cycle in [lo, hi], or None (§5.2).
 
         At most II consecutive cycles need checking (the modulo
         constraint makes further cycles repeats); the caller already
-        clamps the window accordingly.
+        clamps the window accordingly.  The whole window is answered by
+        one vectorized MRT pass; ``scanned`` preserves the linear-scan
+        accounting (cycles up to and including the hit) the metrics
+        always reported.
         """
-        cycles = range(lo, hi + 1) if early else range(hi, lo - 1, -1)
-        if self.metrics is None and self.prof is None:
-            for cycle in cycles:
-                if self.mrt.fits(op, cycle):
-                    return cycle
-            return None
-        found = None
-        scanned = 0
-        for cycle in cycles:
-            scanned += 1
-            if self.mrt.fits(op, cycle):
-                found = cycle
-                break
+        found, scanned = self.mrt.first_fit(op, lo, hi, early)
         if self.metrics is not None:
             self.metrics.histogram("scheduler.scan_window_length").record(scanned)
         if self.prof is not None:

@@ -18,7 +18,8 @@ class SchedulerStats:
     placements: int = 0  # central-loop iterations (ops placed, incl. re-placements)
     forced: int = 0  # step-3 invocations (no conflict-free slot existed)
     ejections: int = 0  # operations ejected from the partial schedule
-    mindist_seconds: float = 0.0
+    mindist_seconds: float = 0.0  # the MinDist closure build alone
+    setup_seconds: float = 0.0  # rest of attempt construction (binding, MinLT, ...)
     scheduling_seconds: float = 0.0
 
     @property
@@ -31,6 +32,7 @@ class SchedulerStats:
         self.forced += other.forced
         self.ejections += other.ejections
         self.mindist_seconds += other.mindist_seconds
+        self.setup_seconds += other.setup_seconds
         self.scheduling_seconds += other.scheduling_seconds
 
 

@@ -33,9 +33,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.bounds.lifetimes import min_lifetime
 from repro.bounds.resmii import critical_unit_instances
-from repro.ir.ddg import DDG
+from repro.ir.ddg import DDG, ArcKind
 from repro.ir.loop import LoopBody
 from repro.ir.operations import Operation
 from repro.ir.types import DType
@@ -77,7 +79,6 @@ class SlackAttempt(SchedulingAttempt):
         #: did), so the scheduler cannot detect a recurrence circuit
         #: becoming "fixed" by a placement.
         self.dynamic_priority = dynamic_priority
-        self._initial_slack: Optional[Dict[int, float]] = None
         critical_units = critical_unit_instances(
             loop, machine, binding, ii, threshold=critical_threshold
         )
@@ -85,12 +86,54 @@ class SlackAttempt(SchedulingAttempt):
         self.critical_ops = {
             oid for oid, unit in binding.items() if unit in critical_units
         }
-        #: MinLT per value id, fixed for this II (§5.1).
-        if self.prof is not None:
-            with self.prof.span("slack.minlt"):
+        #: §4.3 priority scale per op in quarter units (4 = full slack,
+        #: 2 = halved for critical-resource ops, 1 = halved again for
+        #: divider ops; both only under contention).  Integer quarters
+        #: make the scaled priority exact, so the vectorized comparison
+        #: is bit-identical to the scalar successive-halving formula.
+        self._scale4 = np.full(self.n, 4, dtype=np.int64)
+        if self.contention:
+            for oid in self.critical_ops:
+                self._scale4[oid] //= 2
+            for op in loop.ops:
+                if op.uses_divider:
+                    self._scale4[op.oid] //= 2
+        #: Frozen initial-priority vector (quarter units) for the
+        #: ablation, snapshotted for *every* op right here — after
+        #: __init__'s _refresh_bounds(), before any placement can
+        #: tighten a bound.  (It used to be captured lazily at each
+        #: op's first choose_operation visit, so a placement could leak
+        #: into a later op's "initial" slack.)
+        self._initial_priority4: Optional[np.ndarray] = None
+        if not self.dynamic_priority:
+            self._initial_priority4 = (self.lstart - self.estart) * self._scale4
+        #: Reusable scratch vector for choose_operation's composite key.
+        self._key_buf = np.empty(self.n, dtype=np.int64)
+        #: MinLT per value id (§5.1) and the §5.2 per-op stretch tables
+        #: derived from it.  Both are pure functions of (ddg, ii), so
+        #: they are memoized on the DDG: attempts re-run against a
+        #: prebuilt graph (service cache paths, benches) share them
+        #: read-only instead of re-scanning every arc.
+        memo = getattr(ddg, "_slack_tables", None)
+        if memo is None:
+            memo = ddg._slack_tables = {}
+        tables = memo.get(ii)
+        if tables is None:
+            if self.prof is not None:
+                with self.prof.span("slack.minlt"):
+                    self.minlt = self._compute_minlt()
+            else:
                 self.minlt = self._compute_minlt()
+            self._build_stretch_tables()
+            memo[ii] = (self.minlt, self._input_stretch, self._output_stretch)
         else:
-            self.minlt = self._compute_minlt()
+            self.minlt, self._input_stretch, self._output_stretch = tables
+        #: Immediate pred/succ oid sets per op, II-independent, likewise
+        #: shared via the DDG.
+        cache = getattr(ddg, "_neighbor_cache", None)
+        if cache is None:
+            cache = ddg._neighbor_cache = {}
+        self._neighbor_cache: Dict[int, tuple] = cache
 
     def _compute_minlt(self) -> Dict[int, int]:
         return {
@@ -104,12 +147,8 @@ class SlackAttempt(SchedulingAttempt):
     # ------------------------------------------------------------------
     def priority(self, op: Operation) -> float:
         """Estimated number of issue slots available to ``op``."""
-        if not self.dynamic_priority:
-            if self._initial_slack is None:
-                self._initial_slack = {}
-            if op.oid not in self._initial_slack:
-                self._initial_slack[op.oid] = self._current_slack(op)
-            return self._initial_slack[op.oid]
+        if self._initial_priority4 is not None:
+            return float(int(self._initial_priority4[op.oid])) / 4.0
         return self._current_slack(op)
 
     def _current_slack(self, op: Operation) -> float:
@@ -122,40 +161,82 @@ class SlackAttempt(SchedulingAttempt):
         return slack
 
     def choose_operation(self) -> Operation:
+        """Min over unplaced ops of (priority, Lstart, oid), vectorized.
+
+        One argmin over an exact integer composite key, built in-place
+        in a scratch buffer.  Priorities live in quarter units (see
+        ``_scale4``), so equal float priorities are equal integers; the
+        Lstart multiplier is sized to the current bounds, keeping the
+        packed key lexicographic and far from int64 overflow; argmin's
+        first-minimum rule is exactly the ascending-oid tiebreak; and
+        the additive placed penalty (framework) masks placed ops.
+        """
         if self.prof is not None:
             self.prof.count("slack.choose_operation")
-        best_oid = min(
-            self.unplaced,
-            key=lambda oid: (
-                self.priority(self.loop.ops[oid]),
-                int(self.lstart[oid]),
-                oid,
-            ),
-        )
-        return self.loop.ops[best_oid]
+        lstart = self.lstart
+        buf = self._key_buf
+        weight = int(lstart.max()) + 1
+        if self._initial_priority4 is not None:
+            np.multiply(self._initial_priority4, weight, out=buf)
+        else:
+            np.subtract(lstart, self.estart, out=buf)
+            buf *= self._scale4
+            buf *= weight
+        buf += lstart
+        buf += self.placed_penalty
+        return self.loop.ops[int(buf.argmin())]
 
     # ------------------------------------------------------------------
     # §5.2: bidirectional issue-cycle choice
     # ------------------------------------------------------------------
+    def _build_stretch_tables(self) -> None:
+        """Precompute the per-op lifetime-stretch facts (§5.2).
+
+        Which input values an op can stretch depends on the current
+        bounds, but the *candidate set* (distinct RR flow inputs, first
+        arc per value, self-recurrences excluded) and each candidate's
+        ``MinLT(v) - omega*II`` constant are fixed for the attempt, as
+        is whether the op's output is consumed.  prefers_early runs on
+        every placement, so the arc scans move here, once.
+        """
+        input_stretch = []
+        output_stretch = []
+        preds = self.ddg.preds
+        minlt = self.minlt
+        for op in self.loop.ops:
+            seen = set()
+            entries = []
+            oid = op.oid
+            for arc in preds[oid]:
+                if arc.kind is not ArcKind.FLOW:
+                    continue
+                value = arc.value
+                if not _is_rr_flow_value(value) or value.vid in seen:
+                    continue
+                if arc.src == oid:
+                    continue  # self-recurrence: length fixed at omega*II
+                seen.add(value.vid)
+                entries.append((arc.src, minlt.get(value.vid, 0) - arc.omega * self.ii))
+            input_stretch.append(entries)
+            output_stretch.append(self._scan_stretchable_output(op))
+        self._input_stretch = input_stretch
+        self._output_stretch = output_stretch
+
     def _stretchable_inputs(self, op: Operation) -> int:
-        seen = set()
-        count = 0
-        for arc in self.ddg.flow_inputs(op):
-            value = arc.value
-            if not _is_rr_flow_value(value) or value.vid in seen:
-                continue
-            if arc.src == op.oid:
-                continue  # self-recurrence: length fixed at omega*II
-            seen.add(value.vid)
-            pinned = (
-                int(self.estart[arc.src]) + self.minlt.get(value.vid, 0)
-                >= arc.omega * self.ii + int(self.lstart[op.oid])
-            )
-            if not pinned:
-                count += 1
-        return count
+        """Distinct input values a placement of ``op`` could stretch: an
+        input ``v`` (defined by ``d``) is pinned when
+        ``Estart(d) + MinLT(v) >= omega*II + Lstart(op)``."""
+        entries = self._input_stretch[op.oid]
+        if not entries:
+            return 0
+        estart = self.estart
+        limit = int(self.lstart[op.oid])
+        return sum(1 for src, slack_const in entries if int(estart[src]) + slack_const < limit)
 
     def _stretchable_outputs(self, op: Operation) -> int:
+        return self._output_stretch[op.oid]
+
+    def _scan_stretchable_output(self, op: Operation) -> int:
         """In SSA, placing an op early stretches its output; the output
         counts whenever some other operation consumes the value."""
         value = op.dest
@@ -175,7 +256,10 @@ class SlackAttempt(SchedulingAttempt):
         if inputs != outputs:
             return inputs > outputs
         # Tie: place near the group less likely to be ejected.
-        preds, succs = self.ddg.neighbors(op)
+        cached = self._neighbor_cache.get(op.oid)
+        if cached is None:
+            cached = self._neighbor_cache[op.oid] = self.ddg.neighbors(op)
+        preds, succs = cached
         pred_frac = _placed_fraction(preds, self.times)
         succ_frac = _placed_fraction(succs, self.times)
         if pred_frac != succ_frac:

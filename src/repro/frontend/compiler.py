@@ -573,7 +573,10 @@ class LoopCompiler:
         self._gen_statements(stmt.orelse, else_guard)
         else_env = self._env
         merged = dict(snapshot)
-        for name in self._assigned:
+        # Sorted so the join selects are emitted in a fixed order; bare
+        # set iteration made op numbering (and hence every downstream
+        # schedule) vary with PYTHONHASHSEED from process to process.
+        for name in sorted(self._assigned):
             then_val = then_env.get(name, snapshot.get(name))
             else_val = else_env.get(name, snapshot.get(name))
             if then_val == else_val:

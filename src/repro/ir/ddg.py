@@ -17,6 +17,8 @@ import dataclasses
 import enum
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.ir.loop import LoopBody
 from repro.ir.operations import Operation
 from repro.ir.values import Value
@@ -68,6 +70,39 @@ class DDG:
         for arc in arcs:
             self.succs[arc.src].append(arc)
             self.preds[arc.dst].append(arc)
+        #: Lazy caches owned by repro.bounds.mindist: the per-arc cost
+        #: base arrays and the per-II closure memo.  Both assume the arc
+        #: list is immutable after construction (it is).
+        self._cost_bases = None
+        self._mindist_closures: dict = {}
+        #: Lazy II-lower-bound stashes (repro.bounds.{resmii,recmii} and
+        #: the driver/framework fill these): both depend only on the
+        #: immutable loop/machine/arcs this graph was built from.
+        self._resmii = None
+        self._recmii_memo: dict = {}
+        self._binding = None
+
+    def arc_cost_bases(self):
+        """Per-arc (src, dst, latency, omega) int64 arrays, cached.
+
+        The MinDist cost matrix at any II is ``latency - omega * II``
+        maximized over parallel arcs; only the ``-omega * II`` term
+        changes as the scheduling driver escalates II, so these base
+        arrays are built once per DDG and every closure rebuild becomes
+        a single vectorized expression instead of a Python arc scan.
+        """
+        if self._cost_bases is None:
+            count = len(self.arcs)
+            src = np.fromiter((a.src for a in self.arcs), dtype=np.int64, count=count)
+            dst = np.fromiter((a.dst for a in self.arcs), dtype=np.int64, count=count)
+            latency = np.fromiter(
+                (a.latency for a in self.arcs), dtype=np.int64, count=count
+            )
+            omega = np.fromiter(
+                (a.omega for a in self.arcs), dtype=np.int64, count=count
+            )
+            self._cost_bases = (src, dst, latency, omega)
+        return self._cost_bases
 
     def flow_arcs(self) -> Iterator[Arc]:
         return (arc for arc in self.arcs if arc.kind is ArcKind.FLOW)

@@ -38,11 +38,15 @@ class Machine:
         self.spec = spec
         self.unit_classes: Tuple[UnitClass, ...] = tuple(unit_classes)
         self._class_of_opcode: Dict[Opcode, int] = {}
+        self._latency_of_opcode: Dict[Opcode, int] = {}
+        self._busy_of_opcode: Dict[Opcode, int] = {}
         for index, unit_class in enumerate(self.unit_classes):
             for opcode in unit_class.opcodes():
                 if opcode in self._class_of_opcode:
                     raise ValueError(f"{opcode} claimed by two unit classes")
                 self._class_of_opcode[opcode] = index
+                self._latency_of_opcode[opcode] = unit_class.latency(opcode)
+                self._busy_of_opcode[opcode] = unit_class.busy_cycles(opcode)
 
     # ------------------------------------------------------------------
     # Lookups
@@ -62,17 +66,25 @@ class Machine:
 
     def latency(self, op: Operation) -> int:
         """Latency of ``op``; pseudo ops take 0 cycles."""
-        unit_class = self.unit_class(op.opcode)
-        if unit_class is None:
+        # Flat per-opcode table: the UnitClass scan is a linear search
+        # and this sits on the scheduler's placement hot path.
+        latency = self._latency_of_opcode.get(op.opcode)
+        if latency is None:
+            if op.opcode in (Opcode.START, Opcode.STOP):
+                return 0
+            self.unit_class(op.opcode)  # raises the canonical KeyError
             return 0
-        return unit_class.latency(op.opcode)
+        return latency
 
     def busy_cycles(self, op: Operation) -> int:
         """Cycles ``op`` occupies its unit instance (1 if pipelined)."""
-        unit_class = self.unit_class(op.opcode)
-        if unit_class is None:
+        busy = self._busy_of_opcode.get(op.opcode)
+        if busy is None:
+            if op.opcode in (Opcode.START, Opcode.STOP):
+                return 0
+            self.unit_class(op.opcode)  # raises the canonical KeyError
             return 0
-        return unit_class.busy_cycles(op.opcode)
+        return busy
 
     def total_instances(self) -> int:
         return sum(unit_class.count for unit_class in self.unit_classes)

@@ -5,11 +5,24 @@ bound unit instance at rows ``(t + k) mod II`` for every cycle ``k`` of
 its busy pattern (1 cycle for pipelined units, the whole latency for the
 non-pipelined divider).  No resource may be reserved twice in the same
 row — the modulo constraint (paper §1).
+
+Occupancy is kept per unit instance in a *doubled* numpy int64 array of
+``2*II`` cells (the second half mirrors the first), so any window of up
+to II consecutive cycles is one contiguous slice — no index arithmetic,
+no wraparound gather.  Cells hold the occupying oid (``-1`` = free),
+which keeps the oid-per-cell map ejection and :meth:`render` need.
+:meth:`first_fit` answers a whole ``[lo, hi]`` scan-window question in
+one vectorized pass instead of per-cycle Python conflict checks, and
+:meth:`place` re-verifies the footprint with a cheap occupancy test
+instead of rebuilding the blocker list.  Per-op footprints (bound unit,
+busy length, residue offsets) are computed once and cached.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.ir.operations import Operation
 from repro.machine.machine import Machine, UnitInstance
@@ -19,8 +32,8 @@ class ModuloResourceTable:
     """Tracks unit-instance reservations modulo II.
 
     Each cell holds the oid of the operation occupying that (row, unit
-    instance), or None.  Operations are identified by oid so ejection
-    can release exactly the right reservations.
+    instance), or -1.  Operations are identified by oid so ejection can
+    release exactly the right reservations.
     """
 
     def __init__(self, machine: Machine, ii: int, binding: Dict[int, UnitInstance]):
@@ -29,18 +42,37 @@ class ModuloResourceTable:
         self.machine = machine
         self.ii = ii
         self.binding = binding
-        #: (unit_class, instance) -> list of II cells, each None or an oid.
-        self._rows: Dict[UnitInstance, List[Optional[int]]] = {}
+        #: (unit_class, instance) -> int64 array of 2*II cells (second
+        #: half mirrors the first), -1 = free.
+        self._cells2: Dict[UnitInstance, np.ndarray] = {}
+        #: First-half views of the same arrays (one cell per II row).
+        self._cells: Dict[UnitInstance, np.ndarray] = {}
+        #: Python-list mirror of the doubled arrays: scalar reads on the
+        #: short windows that dominate real scans beat numpy's per-call
+        #: overhead, while the arrays serve the long/vectorized paths.
+        self._list2: Dict[UnitInstance, list] = {}
         for class_index, unit_class in enumerate(machine.unit_classes):
             for instance in range(unit_class.count):
-                self._rows[(class_index, instance)] = [None] * ii
+                doubled = np.full(2 * ii, -1, dtype=np.int64)
+                self._cells2[(class_index, instance)] = doubled
+                self._cells[(class_index, instance)] = doubled[:ii]
+                self._list2[(class_index, instance)] = [-1] * (2 * ii)
+        #: oid -> (unit instance, busy cycles, residue offsets 0..busy-1),
+        #: a dense list (oids are small and dense) filled lazily.
+        size = (max(binding) + 1) if binding else 0
+        self._footprints: List[Optional[Tuple[UnitInstance, int, np.ndarray]]] = (
+            [None] * size
+        )
 
     # ------------------------------------------------------------------
-    def _footprint(self, op: Operation, cycle: int) -> Tuple[UnitInstance, List[int]]:
-        unit = self.binding[op.oid]
-        busy = self.machine.busy_cycles(op)
-        rows = [(cycle + k) % self.ii for k in range(busy)]
-        return unit, rows
+    def _footprint(self, op: Operation) -> Tuple[UnitInstance, int, np.ndarray]:
+        entry = self._footprints[op.oid]
+        if entry is None:
+            unit = self.binding[op.oid]
+            busy = self.machine.busy_cycles(op)
+            entry = (unit, busy, np.arange(busy, dtype=np.int64))
+            self._footprints[op.oid] = entry
+        return entry
 
     def conflicts(self, op: Operation, cycle: int) -> List[int]:
         """Oids of placed operations that block ``op`` at ``cycle``.
@@ -51,55 +83,183 @@ class ModuloResourceTable:
         """
         if op.oid not in self.binding:
             return []
-        unit, rows = self._footprint(op, cycle)
-        if self.machine.busy_cycles(op) > self.ii:
+        unit, busy, offsets = self._footprint(op)
+        if busy > self.ii:
             return [-1]
-        cells = self._rows[unit]
-        blockers: List[int] = []
-        for row in rows:
-            occupant = cells[row]
-            if occupant is not None and occupant != op.oid and occupant not in blockers:
-                blockers.append(occupant)
-        return blockers
+        if busy == 1:
+            occupant = self._list2[unit][cycle % self.ii]
+            return [occupant] if occupant != -1 and occupant != op.oid else []
+        occupants = self._cells2[unit][cycle % self.ii :][:busy]
+        blocked = occupants[(occupants != -1) & (occupants != op.oid)]
+        # Dedup preserving footprint (row) order, as the scan always did.
+        return list(dict.fromkeys(blocked.tolist()))
 
     def fits(self, op: Operation, cycle: int) -> bool:
         """True if ``op`` can be placed at ``cycle`` without conflicts."""
-        return not self.conflicts(op, cycle)
+        if op.oid not in self.binding:
+            return True
+        unit, busy, offsets = self._footprint(op)
+        if busy > self.ii:
+            return False
+        if busy == 1:
+            occupant = self._list2[unit][cycle % self.ii]
+            return occupant == -1 or occupant == op.oid
+        occupants = self._cells2[unit][cycle % self.ii :][:busy]
+        return not bool(np.any((occupants != -1) & (occupants != op.oid)))
+
+    def first_fit(
+        self, op: Operation, lo: int, hi: int, early: bool
+    ) -> Tuple[Optional[int], int]:
+        """First conflict-free cycle in ``[lo, hi]``, scanning in the
+        requested direction, as ``(cycle or None, cycles scanned)``.
+
+        One vectorized occupancy pass over the whole window; ``scanned``
+        reproduces the per-cycle linear-scan count exactly (cycles
+        tested up to and including the hit, or the full window length on
+        a miss) so scan-length metrics are unchanged.  Only
+        ``min(width, II)`` candidates are ever examined — occupancy is
+        periodic in II, so a window that long with no free slot has none
+        anywhere.
+        """
+        if lo > hi:
+            return None, 0
+        if op.oid not in self.binding:
+            return (lo if early else hi), 1
+        width = hi - lo + 1
+        unit, busy, offsets = self._footprint(op)
+        ii = self.ii
+        if busy > ii:
+            return None, width
+        span = width if width < ii else ii
+        if busy == 1:
+            oid = op.oid
+            if span <= 32:
+                # Scalar scan of the doubled list mirror: for the short
+                # windows that dominate, this beats numpy's fixed
+                # per-call cost.
+                cells = self._list2[unit]
+                if early:
+                    base = lo % ii
+                    for index in range(span):
+                        occupant = cells[base + index]
+                        if occupant == -1 or occupant == oid:
+                            return lo + index, index + 1
+                    return None, width
+                base = hi % ii + ii
+                for back in range(span):
+                    occupant = cells[base - back]
+                    if occupant == -1 or occupant == oid:
+                        return hi - back, back + 1
+                return None, width
+            # Long window: contiguous slice of the doubled occupancy
+            # array — the distinct candidates in scan order, no modulo
+            # gather.
+            if early:
+                window = self._cells2[unit][lo % ii :][:span]
+                free = (window == -1) | (window == oid)
+                index = int(free.argmax())
+                if not free[index]:
+                    return None, width
+                return lo + index, index + 1
+            window = self._cells2[unit][(hi - span + 1) % ii :][:span]
+            free = (window == -1) | (window == oid)
+            back = int(free[::-1].argmax())
+            if not free[span - 1 - back]:
+                return None, width
+            return hi - back, back + 1
+        # Non-pipelined footprint (the divider): gather the candidate
+        # rows for the clamped window in one shot.
+        if early:
+            cycles = np.arange(lo, lo + span, dtype=np.int64)
+        else:
+            cycles = np.arange(hi, hi - span, -1, dtype=np.int64)
+        occupants = self._cells2[unit][
+            (cycles[:, None] % ii) + offsets[None, :]
+        ]
+        free = ~np.any((occupants != -1) & (occupants != op.oid), axis=1)
+        index = int(free.argmax())
+        if not free[index]:
+            return None, width
+        cycle = int(cycles[index])
+        return cycle, (cycle - lo + 1) if early else (hi - cycle + 1)
 
     def place(self, op: Operation, cycle: int) -> None:
-        """Reserve ``op``'s footprint; raises if any cell is occupied."""
+        """Reserve ``op``'s footprint; raises if any cell is occupied.
+
+        The safety check is a cheap occupancy re-scan of the footprint
+        (callers normally just proved the cycle free via :meth:`fits` or
+        :meth:`first_fit`); the full blocker list is only rebuilt for
+        the error message when the check actually fails.
+        """
         if op.oid not in self.binding:
             return  # pseudo op: no resources
-        blockers = self.conflicts(op, cycle)
-        if blockers:
-            raise ValueError(f"resource conflict placing {op!r} at {cycle}: {blockers}")
-        unit, rows = self._footprint(op, cycle)
-        cells = self._rows[unit]
-        for row in rows:
-            cells[row] = op.oid
+        unit, busy, offsets = self._footprint(op)
+        if busy > self.ii:
+            raise ValueError(
+                f"resource conflict placing {op!r} at {cycle}: "
+                f"{self.conflicts(op, cycle)}"
+            )
+        doubled = self._cells2[unit]
+        mirror = self._list2[unit]
+        if busy == 1:
+            row = cycle % self.ii
+            occupant = mirror[row]
+            if occupant != -1 and occupant != op.oid:
+                raise ValueError(
+                    f"resource conflict placing {op!r} at {cycle}: "
+                    f"{self.conflicts(op, cycle)}"
+                )
+            doubled[row] = op.oid
+            doubled[row + self.ii] = op.oid
+            mirror[row] = op.oid
+            mirror[row + self.ii] = op.oid
+            return
+        rows = (cycle + offsets) % self.ii
+        occupants = doubled[rows]
+        if bool(np.any((occupants != -1) & (occupants != op.oid))):
+            raise ValueError(
+                f"resource conflict placing {op!r} at {cycle}: "
+                f"{self.conflicts(op, cycle)}"
+            )
+        doubled[rows] = op.oid
+        doubled[rows + self.ii] = op.oid
+        for row in rows.tolist():
+            mirror[row] = op.oid
+            mirror[row + self.ii] = op.oid
 
     def remove(self, op: Operation, cycle: int) -> None:
         """Release the reservations ``op`` made at ``cycle``."""
         if op.oid not in self.binding:
             return
-        unit, rows = self._footprint(op, cycle)
-        cells = self._rows[unit]
-        for row in rows:
-            if cells[row] == op.oid:
-                cells[row] = None
+        unit, busy, offsets = self._footprint(op)
+        doubled = self._cells2[unit]
+        mirror = self._list2[unit]
+        if busy == 1:
+            row = cycle % self.ii
+            if mirror[row] == op.oid:
+                doubled[row] = -1
+                doubled[row + self.ii] = -1
+                mirror[row] = -1
+                mirror[row + self.ii] = -1
+            return
+        rows = (cycle + offsets) % self.ii
+        mine = rows[doubled[rows] == op.oid]
+        doubled[mine] = -1
+        doubled[mine + self.ii] = -1
+        for row in mine.tolist():
+            mirror[row] = -1
+            mirror[row + self.ii] = -1
 
     def occupancy(self) -> int:
         """Total number of reserved cells (for tests and stats)."""
-        return sum(
-            1 for cells in self._rows.values() for cell in cells if cell is not None
-        )
+        return int(sum((cells != -1).sum() for cells in self._cells.values()))
 
     def render(self) -> str:
         """ASCII dump of the table, one line per unit instance."""
         lines = []
-        for (class_index, instance), cells in sorted(self._rows.items()):
+        for (class_index, instance), cells in sorted(self._cells.items()):
             name = self.machine.unit_classes[class_index].name
-            body = " ".join("." if cell is None else str(cell) for cell in cells)
+            body = " ".join("." if cell == -1 else str(cell) for cell in cells.tolist())
             lines.append(f"{name}[{instance}]: {body}")
         return "\n".join(lines)
 

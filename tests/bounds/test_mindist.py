@@ -84,3 +84,57 @@ def test_mindist_rejects_nonpositive_ii(machine):
 
     with pytest.raises(ValueError):
         MinDist(ddg, ii=0)
+
+
+# ----------------------------------------------------------------------
+# The shared no-path boundary (NO_PATH_CUTOFF) and the closure cache
+# ----------------------------------------------------------------------
+def test_no_path_cutoff_boundary_is_inclusive():
+    # Regression: the framework's dependence test used strict ``>`` while
+    # MinDist used ``>=`` against the cutoff, so an entry exactly at the
+    # cutoff was a path to one and not the other.  Both now go through
+    # the shared predicate, whose boundary is inclusive.
+    import numpy as np
+
+    from repro.bounds.mindist import NO_PATH, NO_PATH_CUTOFF, is_path, path_mask
+
+    assert not is_path(NO_PATH)
+    assert not is_path(NO_PATH_CUTOFF - 1)
+    assert is_path(NO_PATH_CUTOFF)
+    assert is_path(0) and is_path(-1) and is_path(7)
+    entries = np.array([NO_PATH, NO_PATH_CUTOFF - 1, NO_PATH_CUTOFF, -1, 0, 9])
+    assert path_mask(entries).tolist() == [is_path(int(e)) for e in entries]
+
+
+def test_scalar_and_vector_path_predicates_agree_on_real_matrix(machine):
+    from repro.bounds.mindist import path_mask
+
+    loop = build_figure1_loop()
+    ddg = build_ddg(loop, machine)
+    mindist = MinDist(ddg, ii=2)
+    mask = path_mask(mindist.matrix)
+    for src in range(ddg.n):
+        for dst in range(ddg.n):
+            assert bool(mask[src, dst]) == mindist.has_path(src, dst)
+
+
+def test_closure_cache_matches_fresh_computation(machine):
+    # Escalated IIs against one DDG reuse the per-arc cost bases and the
+    # per-II closure memo; each cached matrix must equal the matrix a
+    # fresh graph computes from scratch, and stay read-only.
+    loop = build_figure1_loop()
+    for ii in (2, 3, 4, 7, 11):
+        ddg = build_ddg(loop, machine)
+        warm = MinDist(ddg, ii=2)  # prime the cache at another II first
+        cached = MinDist(ddg, ii=ii).matrix
+        fresh = MinDist(build_ddg(loop, machine), ii=ii).matrix
+        assert (cached == fresh).all(), ii
+        assert not cached.flags.writeable
+
+
+def test_closure_cache_shares_matrix_per_ii(machine):
+    loop = build_figure1_loop()
+    ddg = build_ddg(loop, machine)
+    first = MinDist(ddg, ii=3)
+    second = MinDist(ddg, ii=3)
+    assert first.matrix is second.matrix  # memoized, not recomputed

@@ -191,3 +191,34 @@ def test_dynamic_priority_tracks_placements(machine):
     attempt._refresh_bounds()
     after = attempt.priority(stores[0])
     assert after != before  # the slack moved with the partial schedule
+
+
+def test_static_priority_snapshot_is_eager_not_lazy(machine):
+    # The §8 ablation freezes each op's *initial* slack.  The snapshot
+    # must be taken for every op at attempt start: it used to be
+    # captured lazily at each op's first priority() query, so ops first
+    # visited after a placement leaked the already-tightened bounds
+    # into their "initial" slack.
+    from repro.ir import build_ddg
+
+    loop = build_figure1_loop()
+
+    def fresh():
+        ddg = build_ddg(loop, machine)
+        return SlackAttempt(
+            loop, machine, ddg, 2, machine.bind_units(loop), dynamic_priority=False
+        )
+
+    reference = fresh()
+    initial = {op.oid: reference.priority(op) for op in loop.real_ops}
+
+    attempt = fresh()
+    adds = [o for o in loop.real_ops if o.opcode is Opcode.ADD_F]
+    attempt._place(adds[0], 0)
+    attempt._place(adds[1], 1)
+    attempt._refresh_bounds()
+    # First priority() query happens only now, after the placements
+    # (which demonstrably move the dynamic slack — see
+    # test_dynamic_priority_tracks_placements).
+    for op in loop.real_ops:
+        assert attempt.priority(op) == initial[op.oid], op

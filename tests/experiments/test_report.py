@@ -87,3 +87,16 @@ def test_measure_loop_forwards_profiler():
     spans = prof.snapshot()["spans"]
     assert "driver.attempt" in spans
     assert "bounds.mindist" in spans  # the runner's MII-analysis MinDist
+
+
+def test_attempt_setup_phase_separated_from_mindist():
+    # Timer attribution: the MinDist build and the rest of attempt
+    # construction (binding tables, MinLT, critical units) are charged
+    # to distinct phases, each accumulated once per driver attempt.
+    programs = paper_corpus(5, seed=5)
+    metrics = MetricsRegistry()
+    run_corpus(programs, MACHINE, metrics=metrics)
+    snap = metrics.snapshot()["timers"]
+    assert snap["phase.attempt_setup"]["count"] == snap["phase.mindist"]["count"]
+    assert snap["phase.attempt_setup"]["seconds"] >= 0.0
+    assert snap["phase.mindist"]["seconds"] >= 0.0

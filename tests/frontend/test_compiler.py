@@ -287,3 +287,36 @@ def test_scatter_compiles_to_indirect_store():
     loop = compile_loop(program)
     store = next(op for op in loop.real_ops if op.is_store)
     assert store.attrs.get("gather")
+
+
+def test_compiled_op_order_is_hash_seed_independent():
+    # Regression: bare set iteration in the if-join merge made op
+    # numbering (and hence every downstream schedule) vary with
+    # PYTHONHASHSEED from process to process, breaking the batch
+    # backends' byte-identical-metrics contract.
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.frontend import compile_loop\n"
+        "from repro.workloads import paper_corpus\n"
+        "for program in paper_corpus(24, seed=1993):\n"
+        "    loop = compile_loop(program)\n"
+        "    print(loop.name, [\n"
+        "        (op.opcode.name, op.dest.name if op.dest is not None else '')\n"
+        "        for op in loop.ops\n"
+        "    ])\n"
+    )
+    dumps = []
+    for seed in ("0", "1", "42"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        dumps.append(result.stdout)
+    assert dumps[0] == dumps[1] == dumps[2]

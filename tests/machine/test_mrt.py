@@ -101,3 +101,47 @@ def test_render_shows_occupants(machine):
     text = mrt.render()
     assert "Adder[0]" in text
     assert str(adds[0].oid) in text
+
+
+def test_place_longer_than_ii_raises(machine):
+    loop = build_divider_loop()
+    mrt = _mrt(machine, loop, 10)
+    div = next(op for op in loop.real_ops if op.opcode is Opcode.DIV_F)
+    with pytest.raises(ValueError):
+        mrt.place(div, 0)
+
+
+def test_place_conflict_message_names_blockers(machine):
+    # place() verifies the footprint with a cheap occupancy re-check; the
+    # full blocker list must still be rebuilt for the error message.
+    loop = build_figure1_loop()
+    mrt = _mrt(machine, loop, 2)
+    adds = [op for op in loop.real_ops if op.opcode is Opcode.ADD_F]
+    mrt.place(adds[0], 0)
+    with pytest.raises(ValueError, match=str(adds[0].oid)):
+        mrt.place(adds[1], 2)
+
+
+def test_first_fit_matches_linear_scan_accounting(machine):
+    loop = build_figure1_loop()
+    mrt = _mrt(machine, loop, 3)
+    adds = [op for op in loop.real_ops if op.opcode is Opcode.ADD_F]
+    mrt.place(adds[0], 0)
+    # Early scan: rows 0 (occupied), 1 (free) -> hit at 1, 2 scanned.
+    assert mrt.first_fit(adds[1], 0, 10, early=True) == (1, 2)
+    # Late scan: rows 10 % 3 = 1 free immediately -> 1 scanned.
+    assert mrt.first_fit(adds[1], 0, 10, early=False) == (10, 1)
+    # Empty window.
+    assert mrt.first_fit(adds[1], 5, 4, early=True) == (None, 0)
+
+
+def test_first_fit_miss_reports_full_window_scanned(machine):
+    # At II=1 the single Adder row is saturated by one placement; a
+    # window of any width is a miss and the per-cycle scan accounting
+    # reports the whole window, not the clamped II candidates.
+    loop = build_figure1_loop()
+    mrt = _mrt(machine, loop, 1)
+    adds = [op for op in loop.real_ops if op.opcode is Opcode.ADD_F]
+    mrt.place(adds[0], 0)
+    assert mrt.first_fit(adds[1], 0, 10, early=True) == (None, 11)
+    assert mrt.first_fit(adds[1], 0, 10, early=False) == (None, 11)
